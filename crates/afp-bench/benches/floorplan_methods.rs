@@ -1,0 +1,55 @@
+//! Criterion benchmark behind the **runtime column of Table I**: wall-clock
+//! floorplanning time per method on a seen (OTA-1, 5 blocks) and an unseen
+//! (Driver, 17 blocks) circuit.
+//!
+//! The absolute numbers depend on the machine, but the *ordering* the paper
+//! reports must hold: RL zero-shot inference ≪ SA < GA/PSO ≪ per-instance RL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afp_circuit::generators;
+use afp_gnn::greedy_floorplan;
+use afp_metaheuristics::{
+    genetic_algorithm, particle_swarm, sequence_pair_rl, simulated_annealing, GaConfig, PsoConfig,
+    SaConfig, SpRlConfig,
+};
+use afp_rl::{AgentConfig, FloorplanAgent};
+
+fn bench_methods(c: &mut Criterion) {
+    let circuits = vec![("OTA-1", generators::ota5()), ("Driver", generators::driver())];
+    let mut group = c.benchmark_group("table1_runtime");
+    group.sample_size(10);
+
+    for (name, circuit) in &circuits {
+        // R-GCN RL zero-shot inference (untrained weights; inference cost is
+        // architecture-dependent, not training-dependent).
+        let mut agent = FloorplanAgent::new(AgentConfig::small());
+        group.bench_with_input(BenchmarkId::new("rgcn_rl_0shot", name), circuit, |b, circ| {
+            b.iter(|| agent.solve(circ))
+        });
+
+        group.bench_with_input(BenchmarkId::new("greedy", name), circuit, |b, circ| {
+            b.iter(|| greedy_floorplan(circ))
+        });
+
+        group.bench_with_input(BenchmarkId::new("sa", name), circuit, |b, circ| {
+            b.iter(|| simulated_annealing(circ, &SaConfig::small()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("ga", name), circuit, |b, circ| {
+            b.iter(|| genetic_algorithm(circ, &GaConfig::small()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("pso", name), circuit, |b, circ| {
+            b.iter(|| particle_swarm(circ, &PsoConfig::small()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("sp_rl", name), circuit, |b, circ| {
+            b.iter(|| sequence_pair_rl(circ, &SpRlConfig::small()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

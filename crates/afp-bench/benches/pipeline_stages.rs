@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the individual pipeline stages feeding the figure
+//! and table reproductions: observation-mask construction (the per-step cost
+//! of the RL environment), R-GCN encoding, OARSMT global routing and the full
+//! procedural completion (the template-generation time of Table II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afp_circuit::{generators, shapes::shape_sets, CircuitGraph, NODE_FEATURE_DIM};
+use afp_gnn::{greedy_floorplan, RgcnEncoder};
+use afp_layout::StateMasks;
+use afp_route::{complete_layout, global_route, ProceduralConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_masks");
+    group.sample_size(20);
+    for circuit in [generators::ota8(), generators::driver()] {
+        let floorplan = greedy_floorplan(&circuit);
+        let sets = shape_sets(&circuit);
+        // Rebuild the masks for the last block as if it were still pending.
+        let block = circuit.blocks_by_decreasing_area()[circuit.num_blocks() - 1];
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.name.clone()),
+            &circuit,
+            |b, circ| {
+                b.iter(|| StateMasks::build(circ, &floorplan, block, &sets[block.index()]))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_rgcn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgcn_encode");
+    group.sample_size(30);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut encoder = RgcnEncoder::new(NODE_FEATURE_DIM, &mut rng);
+    for circuit in [generators::ota8(), generators::bias19()] {
+        let graph = CircuitGraph::from_circuit(&circuit);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(circuit.name.clone()),
+            &graph,
+            |b, g| b.iter(|| encoder.encode(g)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+    for circuit in [generators::ota5(), generators::driver()] {
+        let floorplan = greedy_floorplan(&circuit);
+        group.bench_with_input(
+            BenchmarkId::new("oarsmt_global_route", circuit.name.clone()),
+            &circuit,
+            |b, circ| b.iter(|| global_route(circ, &floorplan, 48)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("procedural_completion", circuit.name.clone()),
+            &circuit,
+            |b, circ| b.iter(|| complete_layout(circ, &floorplan, &ProceduralConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_masks, bench_rgcn, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs the ablation study over the method's design choices (dead-space mask,
+//! wire mask, R-GCN embeddings, hybrid curriculum).
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin ablations            # quick budgets
+//! cargo run --release -p afp-bench --bin ablations -- --paper # paper budgets
+//! ```
+
+use afp_bench::{ablations, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("running the ablation study at `{scale}` scale …");
+    let result = ablations::run(scale);
+    println!("{}", result.rendered);
+    for row in &result.rows {
+        println!("{:<22} — {}", row.name, row.description);
+    }
+}

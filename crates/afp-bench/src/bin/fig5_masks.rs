@@ -1,0 +1,20 @@
+//! Regenerates **Fig. 5**: the dead-space and wire masks of a partial
+//! placement, rendered as ASCII heat maps (darker = larger metric increase,
+//! i.e. the regions the agent is steered away from).
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin fig5_masks
+//! ```
+
+use afp_bench::figures;
+
+fn main() {
+    let fig = figures::fig5_masks();
+    println!(
+        "circuit {} — masks for the next block to place ({})\n",
+        fig.circuit, fig.block
+    );
+    println!("partial placement:\n{}", fig.placement_ascii);
+    println!("dead-space mask f_ds (darker = larger dead-space increase):\n{}", fig.dead_space_ascii);
+    println!("wire mask f_w (darker = larger HPWL increase):\n{}", fig.wire_ascii);
+}

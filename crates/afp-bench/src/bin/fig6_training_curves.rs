@@ -1,0 +1,41 @@
+//! Regenerates **Fig. 6**: the mean episode reward and approximate KL
+//! divergence across the hybrid-curriculum training run, emitted as CSV (for
+//! plotting) plus a coarse ASCII sparkline.
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin fig6_training_curves            # miniature curriculum
+//! cargo run --release -p afp-bench --bin fig6_training_curves -- --paper # full 4096-episode schedule
+//! ```
+
+use afp_bench::{figures, ExperimentScale};
+
+fn sparkline(values: &[f64]) -> String {
+    const RAMP: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| RAMP[(((v - min) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("training with the hybrid curriculum at `{scale}` scale …");
+    let fig = figures::fig6_training_curves(scale);
+    println!("{}", fig.csv);
+    let rewards: Vec<f64> = fig.history.iter().map(|h| h.episode_reward_mean).collect();
+    let kls: Vec<f64> = fig.history.iter().map(|h| h.approx_kl).collect();
+    println!("episode reward mean : {}", sparkline(&rewards));
+    println!("approximate KL      : {}", sparkline(&kls));
+    println!(
+        "updates: {}, final reward mean: {:.2}, final approx KL: {:.4}",
+        fig.history.len(),
+        rewards.last().copied().unwrap_or(f64::NAN),
+        kls.last().copied().unwrap_or(f64::NAN)
+    );
+}

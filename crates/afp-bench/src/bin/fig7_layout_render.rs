@@ -1,0 +1,28 @@
+//! Regenerates **Fig. 7**: the placed and globally routed 17-structure driver
+//! layout. Writes an SVG rendering (placement + OARSMT routes) and prints the
+//! ASCII placement plus the layout metrics.
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin fig7_layout_render            # greedy floorplan
+//! cargo run --release -p afp-bench --bin fig7_layout_render -- --paper # RL floorplan
+//! ```
+
+use std::fs;
+
+use afp_bench::{figures, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("building the driver layout at `{scale}` scale …");
+    let fig = figures::fig7_layout(scale);
+    let path = "fig7_driver_layout.svg";
+    match fs::write(path, &fig.svg) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
+    }
+    println!("placement (32x32 grid):\n{}", fig.ascii);
+    println!(
+        "layout area: {:.1} um^2 | floorplan HPWL: {:.1} um | routed wirelength: {:.1} um | channels: {}",
+        fig.area_um2, fig.hpwl_um, fig.wirelength_um, fig.channels
+    );
+}

@@ -1,0 +1,17 @@
+//! Regenerates the R-GCN supervised pre-training stage (paper §IV-C): builds
+//! the floorplan/reward dataset, trains the reward regressor and reports the
+//! loss curves.
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin rgcn_pretrain            # small dataset, greedy labels
+//! cargo run --release -p afp-bench --bin rgcn_pretrain -- --paper # 21 600 samples, SA labels
+//! ```
+
+use afp_bench::{pretraining, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("pre-training the R-GCN reward model at `{scale}` scale …");
+    let summary = pretraining::run(scale);
+    println!("{}", summary.rendered);
+}

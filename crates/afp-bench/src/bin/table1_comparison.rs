@@ -1,0 +1,32 @@
+//! Regenerates **Table I**: the comparison of the R-GCN + RL floorplanner
+//! (zero-shot and fine-tuned) against SA, GA, PSO, RL-SA and sequence-pair RL
+//! on the six evaluation circuits.
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin table1_comparison            # quick
+//! cargo run --release -p afp-bench --bin table1_comparison -- --paper # full budgets
+//! ```
+
+use afp_bench::{table1, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("running the Table I sweep at `{scale}` scale …");
+    let result = table1::run(scale);
+    println!("{}", result.rendered);
+    // Machine-readable summary (CSV) for downstream plotting.
+    println!("\ncircuit,method,runtime_s,dead_space_pct,hpwl_um,reward");
+    for row in &result.rows {
+        for (method, summary) in &row.methods {
+            println!(
+                "{},{},{:.3},{:.2},{:.2},{:.3}",
+                row.circuit,
+                method,
+                summary.runtime_s.iq_mean,
+                summary.dead_space_pct.iq_mean,
+                summary.hpwl_um.iq_mean,
+                summary.reward.iq_mean
+            );
+        }
+    }
+}

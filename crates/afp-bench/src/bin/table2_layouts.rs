@@ -1,0 +1,22 @@
+//! Regenerates **Table II**: area, dead space and layout-generation time of
+//! the automated flow versus the paper's recorded manual-design references
+//! for the OTA, Bias-1 and Driver circuits.
+//!
+//! ```bash
+//! cargo run --release -p afp-bench --bin table2_layouts            # quick (greedy floorplans)
+//! cargo run --release -p afp-bench --bin table2_layouts -- --paper # RL floorplans, full training
+//! ```
+
+use afp_bench::{table2, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_args(std::env::args().skip(1));
+    eprintln!("running the Table II flow at `{scale}` scale …");
+    let result = table2::run(scale);
+    println!("{}", result.rendered);
+    let (time_reduction, area_change) = table2::headline_numbers(&result.rows);
+    println!(
+        "headline: mean layout-time reduction {:.1}% (paper: 67.3%), mean area change {:+.1}% (paper: -8.3%)",
+        time_reduction, area_change
+    );
+}

@@ -1,0 +1,199 @@
+//! Reproduction of the paper's figures: the dead-space / wire masks (Fig. 5),
+//! the HCL training curves (Fig. 6) and the placed-and-routed driver layout
+//! (Fig. 7).
+
+use afp_circuit::{generators, shapes::shape_sets};
+use afp_core::LayoutPipeline;
+use afp_gnn::{pretrain, PretrainConfig};
+use afp_layout::{export, masks, metrics, Canvas, Floorplan};
+use afp_rl::{train, train_with_encoder, EpochStats, TrainConfig};
+
+use crate::ExperimentScale;
+
+/// The Fig. 5 artefacts: ASCII renderings (and raw values) of the dead-space
+/// and wire masks for a partially placed OTA.
+#[derive(Debug)]
+pub struct Fig5Masks {
+    /// Circuit used for the illustration.
+    pub circuit: String,
+    /// The block whose masks are shown.
+    pub block: String,
+    /// Raw dead-space mask values (32×32, row-major).
+    pub dead_space_mask: Vec<f32>,
+    /// Raw wire mask values (32×32, row-major).
+    pub wire_mask: Vec<f32>,
+    /// ASCII rendering of the dead-space mask.
+    pub dead_space_ascii: String,
+    /// ASCII rendering of the wire mask.
+    pub wire_ascii: String,
+    /// ASCII rendering of the partial placement itself.
+    pub placement_ascii: String,
+}
+
+/// Builds the Fig. 5 masks: the OTA-2 circuit with its two largest blocks
+/// placed and the masks computed for the next block in placement order.
+pub fn fig5_masks() -> Fig5Masks {
+    let circuit = generators::ota8();
+    let canvas = Canvas::for_circuit(&circuit);
+    let mut floorplan = Floorplan::new(canvas);
+    let order = circuit.blocks_by_decreasing_area();
+    let sets = shape_sets(&circuit);
+    // Place the two largest blocks greedily (adjacent near the origin).
+    let mut x = 0usize;
+    for &block in order.iter().take(2) {
+        let shape = sets[block.index()].shape(sets[block.index()].most_square());
+        let (gw, _) = floorplan.grid_footprint(&shape);
+        floorplan
+            .place(block, sets[block.index()].most_square(), shape, afp_layout::Cell::new(x, 0))
+            .expect("placement fits");
+        x += gw + 1;
+    }
+    let next = order[2];
+    let shape = sets[next.index()].shape(sets[next.index()].most_square());
+    let dead_space_mask = masks::dead_space_mask(&circuit, &floorplan, next, &shape);
+    let wire_mask = masks::wire_mask(&circuit, &floorplan, next, &shape);
+    Fig5Masks {
+        circuit: circuit.name.clone(),
+        block: circuit.block(next).map(|b| b.name.clone()).unwrap_or_default(),
+        dead_space_ascii: export::ascii_mask(&dead_space_mask),
+        wire_ascii: export::ascii_mask(&wire_mask),
+        placement_ascii: export::ascii_floorplan(&floorplan),
+        dead_space_mask,
+        wire_mask,
+    }
+}
+
+/// The Fig. 6 artefacts: the per-update mean episode reward and approximate KL
+/// divergence of an HCL training run, plus a CSV rendering.
+#[derive(Debug)]
+pub struct Fig6Curves {
+    /// One entry per PPO update.
+    pub history: Vec<EpochStats>,
+    /// CSV rendering (`epoch,stage,circuit,episode_reward_mean,approx_kl`).
+    pub csv: String,
+}
+
+/// Runs the curriculum training and records the two curves of Fig. 6.
+///
+/// Quick scale: a miniature curriculum over the three smallest training
+/// circuits with the reduced policy. Paper scale: the full five-circuit
+/// curriculum with the paper's architecture and 4096 episodes per circuit.
+pub fn fig6_training_curves(scale: ExperimentScale) -> Fig6Curves {
+    let history = match scale {
+        ExperimentScale::Quick => {
+            let config = TrainConfig {
+                episodes_per_circuit: 12,
+                episodes_per_update: 4,
+                ..TrainConfig::small()
+            };
+            let circuits = vec![generators::ota3(), generators::bias3(), generators::ota5()];
+            train(&circuits, &config).history
+        }
+        ExperimentScale::Paper => {
+            let pretrained = pretrain(&PretrainConfig::paper());
+            let config = TrainConfig::paper();
+            train_with_encoder(
+                pretrained.model.into_encoder(),
+                &generators::training_set(),
+                &config,
+            )
+            .history
+        }
+    };
+    let mut csv = String::from("epoch,stage,circuit,episode_reward_mean,approx_kl,completion_rate\n");
+    for h in &history {
+        csv.push_str(&format!(
+            "{},{},{},{:.4},{:.6},{:.3}\n",
+            h.epoch, h.stage, h.circuit, h.episode_reward_mean, h.approx_kl, h.completion_rate
+        ));
+    }
+    Fig6Curves { history, csv }
+}
+
+/// The Fig. 7 artefacts: the placed and globally routed driver layout.
+#[derive(Debug)]
+pub struct Fig7Layout {
+    /// SVG rendering of the placement with the OARSMT routes overlaid
+    /// (panels (a)/(b) of the figure).
+    pub svg: String,
+    /// ASCII rendering of the placement grid.
+    pub ascii: String,
+    /// Final layout area in µm².
+    pub area_um2: f64,
+    /// Routed wirelength in µm.
+    pub wirelength_um: f64,
+    /// Number of routing channels extracted.
+    pub channels: usize,
+    /// Floorplan HPWL in µm (the proxy the RL agent optimized).
+    pub hpwl_um: f64,
+}
+
+/// Produces the Fig. 7 layout for the 17-structure driver.
+pub fn fig7_layout(scale: ExperimentScale) -> Fig7Layout {
+    let circuit = generators::driver();
+    let mut pipeline = match scale {
+        ExperimentScale::Quick => LayoutPipeline::with_greedy(),
+        ExperimentScale::Paper => {
+            let pretrained = pretrain(&PretrainConfig::paper());
+            let trained = train_with_encoder(
+                pretrained.model.into_encoder(),
+                &generators::training_set(),
+                &TrainConfig::paper(),
+            );
+            LayoutPipeline::with_agent(trained.agent)
+        }
+    };
+    let result = pipeline.run(&circuit);
+    Fig7Layout {
+        svg: result.to_svg(),
+        ascii: result.to_ascii(),
+        area_um2: result.layout.area_um2,
+        wirelength_um: result.layout.wirelength_um,
+        channels: result.layout.channels.len(),
+        hpwl_um: metrics::hpwl(&circuit, &result.floorplan),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_masks_are_normalized_and_rendered() {
+        let fig = fig5_masks();
+        assert_eq!(fig.dead_space_mask.len(), 32 * 32);
+        assert_eq!(fig.wire_mask.len(), 32 * 32);
+        assert!(fig.dead_space_mask.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(fig.wire_mask.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(fig.dead_space_ascii.lines().count(), 32);
+        assert!(!fig.block.is_empty());
+        // Both masks must show contrast (not a constant image).
+        let ds_min = fig.dead_space_mask.iter().cloned().fold(f32::MAX, f32::min);
+        let ds_max = fig.dead_space_mask.iter().cloned().fold(f32::MIN, f32::max);
+        assert!(ds_max > ds_min);
+    }
+
+    #[test]
+    fn fig6_quick_curves_have_both_series() {
+        let fig = fig6_training_curves(ExperimentScale::Quick);
+        assert!(!fig.history.is_empty());
+        assert!(fig.csv.starts_with("epoch,stage,circuit"));
+        assert_eq!(fig.csv.lines().count(), fig.history.len() + 1);
+        for h in &fig.history {
+            assert!(h.episode_reward_mean.is_finite());
+            assert!(h.approx_kl.is_finite());
+        }
+        // The curriculum reaches at least the second stage.
+        assert!(fig.history.iter().any(|h| h.stage >= 1));
+    }
+
+    #[test]
+    fn fig7_layout_is_routed_and_rendered() {
+        let fig = fig7_layout(ExperimentScale::Quick);
+        assert!(fig.svg.contains("polyline"), "no routed nets in the SVG");
+        assert!(fig.area_um2 > 0.0);
+        assert!(fig.wirelength_um > 0.0);
+        assert!(fig.channels > 0);
+        assert!(fig.hpwl_um > 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! # afp-bench — reproduction harness for every table and figure of the paper
+//!
+//! Each experiment of the paper's §V has a function here that regenerates it
+//! (at a configurable scale) and a binary in `src/bin/` that prints it:
+//!
+//! | Paper artefact | Function | Binary |
+//! |---|---|---|
+//! | Table I (methods × circuits comparison) | [`table1::run`] | `table1_comparison` |
+//! | Table II (automated vs manual layouts) | [`table2::run`] | `table2_layouts` |
+//! | Fig. 5 (dead-space and wire masks) | [`figures::fig5_masks`] | `fig5_masks` |
+//! | Fig. 6 (HCL training curves) | [`figures::fig6_training_curves`] | `fig6_training_curves` |
+//! | Fig. 7 (placed + routed driver layout) | [`figures::fig7_layout`] | `fig7_layout_render` |
+//! | R-GCN pre-training (§IV-C) | [`pretraining::run`] | `rgcn_pretrain` |
+//! | Design-choice ablations (§IV) | [`ablations::run`] | `ablations` |
+//!
+//! Every entry point takes an [`ExperimentScale`]: `quick` runs in seconds on
+//! a laptop and is used by the test-suite and CI; `paper` uses the full
+//! episode / sample budgets reported by the authors (hours of CPU time).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// How much compute to spend on an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// Seconds-scale configuration for tests and smoke runs.
+    Quick,
+    /// The budgets reported in the paper (hours of CPU time).
+    Paper,
+}
+
+impl ExperimentScale {
+    /// Parses `--paper` style command-line arguments.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        if args.into_iter().any(|a| a == "--paper" || a == "--full") {
+            ExperimentScale::Paper
+        } else {
+            ExperimentScale::Quick
+        }
+    }
+
+    /// Returns `true` for the quick scale.
+    pub fn is_quick(self) -> bool {
+        self == ExperimentScale::Quick
+    }
+}
+
+impl fmt::Display for ExperimentScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentScale::Quick => write!(f, "quick"),
+            ExperimentScale::Paper => write!(f, "paper"),
+        }
+    }
+}
+
+pub mod ablations;
+pub mod figures;
+pub mod pretraining;
+pub mod table1;
+pub mod table2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(
+            ExperimentScale::from_args(vec!["--paper".to_string()]),
+            ExperimentScale::Paper
+        );
+        assert_eq!(
+            ExperimentScale::from_args(Vec::<String>::new()),
+            ExperimentScale::Quick
+        );
+        assert!(ExperimentScale::Quick.is_quick());
+        assert_eq!(ExperimentScale::Paper.to_string(), "paper");
+    }
+}

@@ -1,0 +1,131 @@
+//! Reproduction of **Table II**: area, dead space and layout-generation time
+//! of the automated flow (floorplanning + OARSMT routing + procedural
+//! completion) versus the paper's recorded manual-design references, for the
+//! OTA, Bias-1 and Driver circuits.
+
+use afp_circuit::{generators, Circuit};
+use afp_core::{format_table_two, paper_manual_references, LayoutPipeline, TableTwoRow};
+use afp_gnn::{pretrain, PretrainConfig};
+use afp_rl::{train_with_encoder, TrainConfig};
+
+use crate::ExperimentScale;
+
+/// The manual-improvement hours the paper reports on top of the automatically
+/// generated template (0.17 h for the OTA, 1 h for Bias-1, 20 h for the
+/// Driver). They describe designer effort on the original testbed and are
+/// reused verbatim so the total-time comparison keeps the paper's structure.
+pub fn paper_manual_improvement_hours() -> Vec<(&'static str, f64)> {
+    vec![("OTA", 0.17), ("Bias-1", 1.0), ("Driver", 20.0)]
+}
+
+/// The three circuits of Table II: the 3-block OTA, the 9-block bias network
+/// and the 17-block driver.
+pub fn table2_circuits() -> Vec<(&'static str, Circuit)> {
+    vec![
+        ("OTA", generators::ota3()),
+        ("Bias-1", generators::bias9()),
+        ("Driver", generators::driver()),
+    ]
+}
+
+/// The output of the Table II reproduction.
+#[derive(Debug)]
+pub struct Table2Result {
+    /// One row per circuit.
+    pub rows: Vec<TableTwoRow>,
+    /// Plain-text rendering.
+    pub rendered: String,
+}
+
+/// Runs the Table II flow. At quick scale the floorplanner is the greedy
+/// constructive placer (seconds); at paper scale a curriculum-trained R-GCN RL
+/// agent generates every floorplan, as in the paper.
+pub fn run(scale: ExperimentScale) -> Table2Result {
+    // One pipeline serves all three circuits: the floorplanning method inside
+    // it is stateless across `run` calls (the agent's policy is frozen at
+    // inference time).
+    let mut pipeline = match scale {
+        ExperimentScale::Quick => LayoutPipeline::with_greedy(),
+        ExperimentScale::Paper => {
+            let pretrained = pretrain(&PretrainConfig::paper());
+            let trained = train_with_encoder(
+                pretrained.model.into_encoder(),
+                &generators::training_set(),
+                &TrainConfig::paper(),
+            );
+            LayoutPipeline::with_agent(trained.agent)
+        }
+    };
+
+    let manual_refs = paper_manual_references();
+    let improvement_hours = paper_manual_improvement_hours();
+    let mut rows = Vec::new();
+    for (name, circuit) in table2_circuits() {
+        let result = pipeline.run(&circuit);
+        let manual = manual_refs
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, m)| *m)
+            .expect("manual reference exists");
+        let improvement = improvement_hours
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, h)| *h)
+            .unwrap_or(0.0);
+        rows.push(TableTwoRow {
+            circuit: name.to_string(),
+            ours_area_um2: result.layout.area_um2,
+            ours_dead_space_pct: result.layout.dead_space * 100.0,
+            template_time_s: result.report.template_time_s,
+            manual_improvement_h: improvement,
+            manual,
+        });
+    }
+    let rendered = format_table_two(&rows);
+    Table2Result { rows, rendered }
+}
+
+/// Aggregate headline numbers of the paper's abstract: mean layout-time
+/// reduction and mean area change versus manual design.
+pub fn headline_numbers(rows: &[TableTwoRow]) -> (f64, f64) {
+    let time_reduction: f64 =
+        rows.iter().map(|r| -r.time_delta_pct()).sum::<f64>() / rows.len().max(1) as f64;
+    let area_change: f64 =
+        rows.iter().map(|r| r.area_delta_pct()).sum::<f64>() / rows.len().max(1) as f64;
+    (time_reduction, area_change)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_three_rows() {
+        let result = run(ExperimentScale::Quick);
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert!(row.ours_area_um2 > 0.0, "{}", row.circuit);
+            assert!(row.ours_dead_space_pct >= 0.0 && row.ours_dead_space_pct <= 100.0);
+            assert!(row.template_time_s >= 0.0);
+            // The automated flow is orders of magnitude faster than manual.
+            assert!(row.total_time_h() < row.manual.layout_time_h);
+        }
+        assert!(result.rendered.contains("TABLE II"));
+        assert!(result.rendered.contains("Driver"));
+    }
+
+    #[test]
+    fn headline_numbers_show_time_reduction() {
+        let result = run(ExperimentScale::Quick);
+        let (time_reduction, _area_change) = headline_numbers(&result.rows);
+        // The paper reports a 67.3% mean layout-time reduction; any positive
+        // reduction preserves the headline direction.
+        assert!(time_reduction > 0.0, "time reduction {time_reduction}");
+    }
+
+    #[test]
+    fn improvement_hours_cover_all_circuits() {
+        let names: Vec<&str> = paper_manual_improvement_hours().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["OTA", "Bias-1", "Driver"]);
+    }
+}

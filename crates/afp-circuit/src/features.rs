@@ -1,0 +1,119 @@
+//! Node feature extraction for the circuit graph.
+//!
+//! The paper's node feature vector (§IV-C) contains: the block area, internal
+//! parameters such as the transistor / resistor stripe width, the terminal
+//! routing direction, pin counts, and a 28-dimensional one-hot encoding of the
+//! functional structure. This module produces that vector in a fixed layout so
+//! the R-GCN input width is a compile-time constant.
+
+use crate::block::{Block, BlockKind, InternalPlacement, RoutingDirection};
+
+/// Number of scalar features preceding the one-hot structure encoding:
+/// normalized area, log-area, stripe width, pin count, routing direction
+/// (2 one-hot), internal placement style (4 one-hot).
+pub const SCALAR_FEATURES: usize = 10;
+
+/// Total width of a node feature vector.
+pub const NODE_FEATURE_DIM: usize = SCALAR_FEATURES + BlockKind::COUNT;
+
+/// Builds the feature vector of a block.
+///
+/// `max_area_um2` is the largest block area in the circuit and is used to
+/// normalize areas into `[0, 1]` so that feature scales are comparable across
+/// circuits of very different sizes — a prerequisite for the transferability
+/// the paper targets.
+pub fn node_features(block: &Block, max_area_um2: f64) -> Vec<f32> {
+    let mut f = Vec::with_capacity(NODE_FEATURE_DIM);
+    let max_area = max_area_um2.max(1e-9);
+    // Normalized area and a log-compressed version (areas span orders of
+    // magnitude between, say, a switch and a power driver).
+    f.push((block.area_um2 / max_area) as f32);
+    f.push(((1.0 + block.area_um2).ln() / (1.0 + max_area).ln()) as f32);
+    // Stripe width relative to the block's own square side: captures how
+    // elongated the internal structure is.
+    let side = block.area_um2.sqrt().max(1e-9);
+    f.push((block.stripe_width_um / side).min(4.0) as f32 / 4.0);
+    // Pin count, compressed.
+    f.push((block.pin_count as f32 / 8.0).min(1.0));
+    // Routing direction one-hot (horizontal, vertical); `Any` maps to (0, 0).
+    match block.routing_direction {
+        RoutingDirection::Horizontal => {
+            f.push(1.0);
+            f.push(0.0);
+        }
+        RoutingDirection::Vertical => {
+            f.push(0.0);
+            f.push(1.0);
+        }
+        RoutingDirection::Any => {
+            f.push(0.0);
+            f.push(0.0);
+        }
+    }
+    // Internal placement one-hot.
+    let style_idx = match block.internal_placement {
+        InternalPlacement::CommonCentroid => 0,
+        InternalPlacement::Interdigitated => 1,
+        InternalPlacement::Row => 2,
+        InternalPlacement::Single => 3,
+    };
+    for i in 0..4 {
+        f.push(if i == style_idx { 1.0 } else { 0.0 });
+    }
+    debug_assert_eq!(f.len(), SCALAR_FEATURES);
+    // Functional structure one-hot.
+    f.extend(block.kind.one_hot());
+    debug_assert_eq!(f.len(), NODE_FEATURE_DIM);
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockId;
+
+    fn block(kind: BlockKind, area: f64) -> Block {
+        Block::new(BlockId(0), "b", kind, area, 3)
+    }
+
+    #[test]
+    fn feature_vector_has_fixed_width() {
+        let f = node_features(&block(BlockKind::CurrentMirror, 10.0), 10.0);
+        assert_eq!(f.len(), NODE_FEATURE_DIM);
+    }
+
+    #[test]
+    fn area_features_normalized() {
+        let f = node_features(&block(BlockKind::CurrentMirror, 5.0), 10.0);
+        assert!((f[0] - 0.5).abs() < 1e-6);
+        assert!(f[1] > 0.0 && f[1] <= 1.0);
+        let f_max = node_features(&block(BlockKind::CurrentMirror, 10.0), 10.0);
+        assert!((f_max[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn one_hot_region_matches_kind() {
+        let f = node_features(&block(BlockKind::DifferentialPair, 10.0), 10.0);
+        let one_hot = &f[SCALAR_FEATURES..];
+        assert_eq!(one_hot.len(), BlockKind::COUNT);
+        assert_eq!(one_hot[BlockKind::DifferentialPair.index()], 1.0);
+        assert_eq!(one_hot.iter().filter(|&&x| x == 1.0).count(), 1);
+    }
+
+    #[test]
+    fn routing_direction_encoded() {
+        let mut b = block(BlockKind::CommonSource, 10.0);
+        b.routing_direction = RoutingDirection::Vertical;
+        let f = node_features(&b, 10.0);
+        assert_eq!(f[4], 0.0);
+        assert_eq!(f[5], 1.0);
+    }
+
+    #[test]
+    fn all_features_bounded() {
+        for kind in BlockKind::ALL {
+            let f = node_features(&block(kind, 123.0), 456.0);
+            assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)), "{kind:?}: {f:?}");
+        }
+    }
+}

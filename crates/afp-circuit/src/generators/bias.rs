@@ -1,0 +1,165 @@
+//! Bias-network generators (Bias-1 with 9 structures, Bias-2 with 19, plus a
+//! small 3-structure bias used for RL training).
+
+use crate::block::BlockKind;
+use crate::net::NetClass;
+use crate::netlist::Circuit;
+
+/// Builds a bias circuit with the requested number of functional blocks.
+///
+/// Supported sizes are 3, 9 and 19 blocks; other values are clamped.
+pub fn bias(num_blocks: usize) -> Circuit {
+    match num_blocks {
+        0..=5 => bias3(),
+        6..=13 => bias9(),
+        _ => bias19(),
+    }
+}
+
+/// 3-structure bias generator used in the RL training curriculum.
+pub fn bias3() -> Circuit {
+    Circuit::builder("Bias-3")
+        .block("REF", BlockKind::BiasGenerator, 34.0, 3)
+        .block("MIRROR_N", BlockKind::CurrentMirror, 40.0, 3)
+        .block("MIRROR_P", BlockKind::CurrentMirror, 44.0, 3)
+        .net("iref", &[("REF", "out"), ("MIRROR_N", "din")], NetClass::Bias)
+        .net("ib_n", &[("MIRROR_N", "dout"), ("MIRROR_P", "din")], NetClass::Bias)
+        .net("ib_p", &[("MIRROR_P", "dout"), ("REF", "fb")], NetClass::Bias)
+        .build()
+        .expect("Bias-3 is valid")
+}
+
+/// 9-structure bias network ("Bias-1" in Table I / Table II): a reference
+/// core, cascoded distribution mirrors and a start-up circuit.
+pub fn bias9() -> Circuit {
+    Circuit::builder("Bias-1")
+        .block("BG_CORE", BlockKind::BandgapCore, 120.0, 4)
+        .block("START", BlockKind::StartUp, 26.0, 3)
+        .block("MIR_N1", BlockKind::CurrentMirror, 56.0, 3)
+        .block("MIR_N2", BlockKind::CurrentMirror, 56.0, 3)
+        .block("MIR_P1", BlockKind::CascodeCurrentMirror, 64.0, 3)
+        .block("MIR_P2", BlockKind::CascodeCurrentMirror, 64.0, 3)
+        .block("RES_TRIM", BlockKind::ResistorBank, 140.0, 4)
+        .block("CAP_FILT", BlockKind::CapacitorBank, 170.0, 2)
+        .block("BUF", BlockKind::CommonDrain, 30.0, 3)
+        .net("vref", &[("BG_CORE", "out"), ("BUF", "g"), ("CAP_FILT", "a")], NetClass::Critical)
+        .net("istart", &[("START", "out"), ("BG_CORE", "start")], NetClass::Signal)
+        .net("ptat", &[("BG_CORE", "ptat"), ("RES_TRIM", "a")], NetClass::Signal)
+        .net("ib_n1", &[("MIR_N1", "din"), ("BG_CORE", "ib")], NetClass::Bias)
+        .net("ib_n2", &[("MIR_N1", "dout"), ("MIR_N2", "din")], NetClass::Bias)
+        .net("ib_p1", &[("MIR_P1", "din"), ("MIR_N2", "dout")], NetClass::Bias)
+        .net("ib_p2", &[("MIR_P1", "dout"), ("MIR_P2", "din")], NetClass::Bias)
+        .net("ib_out", &[("MIR_P2", "dout"), ("BUF", "d")], NetClass::Bias)
+        .net("rtrim", &[("RES_TRIM", "b"), ("START", "sense")], NetClass::Signal)
+        .symmetry_v(&[("MIR_N1", "MIR_N2"), ("MIR_P1", "MIR_P2")])
+        .build()
+        .expect("Bias-1 is valid")
+}
+
+/// 19-structure bias distribution network ("Bias-2" in Table I): a larger
+/// tree of cascoded mirrors, trim resistors, filter capacitors and buffers
+/// fanning a reference current out to multiple consumers.
+pub fn bias19() -> Circuit {
+    let mut b = Circuit::builder("Bias-2")
+        .block("BG_CORE", BlockKind::BandgapCore, 260.0, 4)
+        .block("START", BlockKind::StartUp, 48.0, 3)
+        .block("AMP", BlockKind::DifferentialPair, 120.0, 4)
+        .block("RES_PTAT", BlockKind::ResistorBank, 300.0, 3)
+        .block("RES_TRIM", BlockKind::ResistorBank, 340.0, 4)
+        .block("CAP_FILT1", BlockKind::CapacitorBank, 420.0, 2)
+        .block("CAP_FILT2", BlockKind::CapacitorBank, 420.0, 2)
+        .block("BUF1", BlockKind::CommonDrain, 64.0, 3)
+        .block("BUF2", BlockKind::CommonDrain, 64.0, 3);
+    // Distribution mirrors: 5 NMOS + 5 PMOS cascoded mirrors.
+    for i in 0..5 {
+        b = b.block(
+            &format!("MIR_N{i}"),
+            BlockKind::CurrentMirror,
+            96.0 + 8.0 * i as f64,
+            3,
+        );
+    }
+    for i in 0..5 {
+        b = b.block(
+            &format!("MIR_P{i}"),
+            BlockKind::CascodeCurrentMirror,
+            110.0 + 8.0 * i as f64,
+            3,
+        );
+    }
+    let mut b = b
+        .net("vref", &[("BG_CORE", "out"), ("AMP", "g1"), ("CAP_FILT1", "a")], NetClass::Critical)
+        .net("fb", &[("AMP", "g2"), ("RES_TRIM", "a"), ("BUF1", "s")], NetClass::Critical)
+        .net("amp_out", &[("AMP", "out"), ("BUF1", "g"), ("CAP_FILT2", "a")], NetClass::Signal)
+        .net("istart", &[("START", "out"), ("BG_CORE", "start")], NetClass::Signal)
+        .net("ptat", &[("BG_CORE", "ptat"), ("RES_PTAT", "a")], NetClass::Signal)
+        .net("buf2_in", &[("BUF2", "g"), ("RES_PTAT", "b")], NetClass::Signal)
+        .net("iref_n", &[("BUF1", "d"), ("MIR_N0", "din")], NetClass::Bias)
+        .net("iref_p", &[("BUF2", "d"), ("MIR_P0", "din")], NetClass::Bias);
+    // Chain the mirrors: N0→N1→…→N4 and P0→P1→…→P4, with cross links.
+    for i in 0..4usize {
+        b = b.net(
+            &format!("chain_n{i}"),
+            &[
+                (&format!("MIR_N{i}"), "dout"),
+                (&format!("MIR_N{}", i + 1), "din"),
+            ],
+            NetClass::Bias,
+        );
+        b = b.net(
+            &format!("chain_p{i}"),
+            &[
+                (&format!("MIR_P{i}"), "dout"),
+                (&format!("MIR_P{}", i + 1), "din"),
+            ],
+            NetClass::Bias,
+        );
+    }
+    b = b.net(
+        "cross_np",
+        &[("MIR_N4", "dout"), ("MIR_P4", "cas")],
+        NetClass::Bias,
+    );
+    b.symmetry_v(&[("MIR_N0", "MIR_N1"), ("MIR_P0", "MIR_P1"), ("CAP_FILT1", "CAP_FILT2")])
+        .alignment(crate::constraint::Axis::Horizontal, &["MIR_N2", "MIR_N3", "MIR_N4"])
+        .build()
+        .expect("Bias-2 is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_counts_match_table_one() {
+        assert_eq!(bias3().num_blocks(), 3);
+        assert_eq!(bias9().num_blocks(), 9);
+        assert_eq!(bias19().num_blocks(), 19);
+    }
+
+    #[test]
+    fn dispatch_clamps() {
+        assert_eq!(bias(4).num_blocks(), 3);
+        assert_eq!(bias(9).num_blocks(), 9);
+        assert_eq!(bias(25).num_blocks(), 19);
+    }
+
+    #[test]
+    fn all_bias_circuits_validate() {
+        for c in [bias3(), bias9(), bias19()] {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn bias2_is_larger_than_bias1() {
+        assert!(bias19().total_block_area() > bias9().total_block_area());
+        assert!(bias19().num_nets() > bias9().num_nets());
+    }
+
+    #[test]
+    fn bias_circuits_have_symmetry_constraints() {
+        assert!(!bias9().constraints.is_empty());
+        assert!(!bias19().constraints.is_empty());
+    }
+}

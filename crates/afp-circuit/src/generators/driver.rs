@@ -1,0 +1,139 @@
+//! MOSFET low-side driver generator (the 17-structure "Driver" of Table I and
+//! Table II, after the procedural driver generator of [12]).
+
+use crate::block::{BlockKind, RoutingDirection};
+use crate::constraint::Axis;
+use crate::net::NetClass;
+use crate::netlist::Circuit;
+
+/// Builds the 17-structure low-side driver: a large power device, segmented
+/// pre-driver buffers, level shifter, current-limit sensing and protection
+/// logic. Block areas are dominated by the power devices, as in the original
+/// circuit (the paper reports ≈3600 µm² total layout area).
+pub fn driver() -> Circuit {
+    let mut b = Circuit::builder("Driver")
+        // Power stage, split in two matched halves.
+        .block_full(
+            crate::block::Block::new(
+                crate::block::BlockId(0),
+                "PWR_L",
+                BlockKind::PowerDriver,
+                620.0,
+                4,
+            )
+            .with_routing_direction(RoutingDirection::Vertical),
+        )
+        .block_full(
+            crate::block::Block::new(
+                crate::block::BlockId(0),
+                "PWR_R",
+                BlockKind::PowerDriver,
+                620.0,
+                4,
+            )
+            .with_routing_direction(RoutingDirection::Vertical),
+        )
+        // Pre-driver chain: three scaled buffer stages.
+        .block("PRE1", BlockKind::PreDriver, 90.0, 3)
+        .block("PRE2", BlockKind::PreDriver, 150.0, 3)
+        .block("PRE3", BlockKind::PreDriver, 240.0, 3)
+        // Level shifter and input logic.
+        .block("LVL", BlockKind::LevelShifter, 70.0, 4)
+        .block("IN_BUF", BlockKind::Inverter, 28.0, 3)
+        .block("NAND_EN", BlockKind::LogicGate, 34.0, 4)
+        // Gate clamp and pull-down.
+        .block("CLAMP", BlockKind::Switch, 46.0, 3)
+        .block("PULLDN", BlockKind::Switch, 52.0, 3)
+        // Current sense and protection.
+        .block("SENSE", BlockKind::CommonSource, 80.0, 3)
+        .block("CMP_IN", BlockKind::ComparatorInput, 60.0, 4)
+        .block("CMP_REG", BlockKind::RegenerativeStage, 44.0, 3)
+        .block("IBIAS", BlockKind::CurrentSource, 38.0, 2)
+        .block("RES_SENSE", BlockKind::ResistorBank, 120.0, 2)
+        .block("CAP_BOOT", BlockKind::CapacitorBank, 210.0, 2)
+        .block("ESD", BlockKind::Unclassified, 66.0, 2);
+
+    b = b
+        .net("in", &[("IN_BUF", "a"), ("NAND_EN", "a")], NetClass::Signal)
+        .net("en_gated", &[("NAND_EN", "y"), ("LVL", "in")], NetClass::Signal)
+        .net("lvl_out", &[("LVL", "out"), ("PRE1", "a")], NetClass::Signal)
+        .net("pre1_out", &[("PRE1", "y"), ("PRE2", "a")], NetClass::Signal)
+        .net("pre2_out", &[("PRE2", "y"), ("PRE3", "a")], NetClass::Signal)
+        .net(
+            "gate_drv",
+            &[("PRE3", "y"), ("PWR_L", "g"), ("PWR_R", "g"), ("CLAMP", "a"), ("PULLDN", "a")],
+            NetClass::Critical,
+        )
+        .net(
+            "drain_out",
+            &[("PWR_L", "d"), ("PWR_R", "d"), ("CAP_BOOT", "a"), ("ESD", "pad"), ("SENSE", "d")],
+            NetClass::Critical,
+        )
+        .net(
+            "src_sense",
+            &[("PWR_L", "s"), ("PWR_R", "s"), ("RES_SENSE", "a")],
+            NetClass::Signal,
+        )
+        .net("sense_v", &[("SENSE", "g"), ("RES_SENSE", "b"), ("CMP_IN", "inp")], NetClass::Signal)
+        .net("cmp_ref", &[("CMP_IN", "inn"), ("IBIAS", "ref")], NetClass::Bias)
+        .net("cmp_out", &[("CMP_IN", "out"), ("CMP_REG", "in")], NetClass::Signal)
+        .net("flag_oc", &[("CMP_REG", "out"), ("NAND_EN", "b")], NetClass::Signal)
+        .net("clamp_b", &[("CLAMP", "b"), ("IN_BUF", "y")], NetClass::Signal)
+        .net("boot", &[("CAP_BOOT", "b"), ("LVL", "boot")], NetClass::Signal)
+        .net("pd_ctl", &[("PULLDN", "b"), ("CMP_REG", "outb")], NetClass::Signal)
+        .net("ib_cmp", &[("IBIAS", "out"), ("CMP_REG", "tail")], NetClass::Bias);
+
+    b.symmetry_v(&[("PWR_L", "PWR_R")])
+        .alignment(Axis::Horizontal, &["PRE1", "PRE2", "PRE3"])
+        .target_aspect_ratio(1.0)
+        .build()
+        .expect("Driver is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_matches_table_one() {
+        assert_eq!(driver().num_blocks(), 17);
+    }
+
+    #[test]
+    fn driver_validates() {
+        driver().validate().unwrap();
+    }
+
+    #[test]
+    fn power_devices_dominate_area() {
+        let c = driver();
+        let pwr: f64 = c
+            .blocks
+            .iter()
+            .filter(|b| b.kind == BlockKind::PowerDriver)
+            .map(|b| b.area_um2)
+            .sum();
+        assert!(pwr > 0.3 * c.total_block_area());
+    }
+
+    #[test]
+    fn driver_has_symmetry_and_alignment() {
+        let c = driver();
+        let has_sym = c.constraints.iter().any(|x| x.is_symmetry());
+        let has_align = c.constraints.iter().any(|x| !x.is_symmetry());
+        assert!(has_sym && has_align);
+        assert_eq!(c.target_aspect_ratio, Some(1.0));
+    }
+
+    #[test]
+    fn every_block_is_connected() {
+        let c = driver();
+        for block in &c.blocks {
+            assert!(
+                !c.nets_of_block(block.id).is_empty(),
+                "block {} is floating",
+                block.name
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! RS-latch generator (the 7-structure "RS Latch" of Table I).
+
+use crate::block::BlockKind;
+use crate::net::NetClass;
+use crate::netlist::Circuit;
+
+/// Builds the 7-structure set-reset latch: cross-coupled latch core, two input
+/// gates, output buffers and a local bias / keeper structure.
+pub fn rs_latch() -> Circuit {
+    Circuit::builder("RS-Latch")
+        .block("LATCH", BlockKind::LatchCore, 52.0, 5)
+        .block("NOR_S", BlockKind::LogicGate, 30.0, 4)
+        .block("NOR_R", BlockKind::LogicGate, 30.0, 4)
+        .block("BUF_Q", BlockKind::Inverter, 24.0, 3)
+        .block("BUF_QB", BlockKind::Inverter, 24.0, 3)
+        .block("KEEPER", BlockKind::CrossCoupledPair, 20.0, 3)
+        .block("IBIAS", BlockKind::CurrentSource, 16.0, 2)
+        .net("set", &[("NOR_S", "a"), ("KEEPER", "s")], NetClass::Signal)
+        .net("reset", &[("NOR_R", "a"), ("KEEPER", "r")], NetClass::Signal)
+        .net("q_int", &[("LATCH", "q"), ("NOR_R", "b"), ("BUF_Q", "a")], NetClass::Critical)
+        .net("qb_int", &[("LATCH", "qb"), ("NOR_S", "b"), ("BUF_QB", "a")], NetClass::Critical)
+        .net("s_drv", &[("NOR_S", "y"), ("LATCH", "s")], NetClass::Signal)
+        .net("r_drv", &[("NOR_R", "y"), ("LATCH", "r")], NetClass::Signal)
+        .net("keep", &[("KEEPER", "out"), ("LATCH", "keep")], NetClass::Signal)
+        .net("ib", &[("IBIAS", "out"), ("LATCH", "tail")], NetClass::Bias)
+        .symmetry_v(&[("NOR_S", "NOR_R"), ("BUF_Q", "BUF_QB"), ("LATCH", "LATCH")])
+        .build()
+        .expect("RS latch is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_matches_table_one() {
+        assert_eq!(rs_latch().num_blocks(), 7);
+    }
+
+    #[test]
+    fn latch_validates_and_has_symmetry() {
+        let c = rs_latch();
+        c.validate().unwrap();
+        assert_eq!(c.constraints.len(), 1);
+        let sym = c.constraints.iter().next().unwrap();
+        assert!(sym.is_symmetry());
+        assert_eq!(sym.members().len(), 5);
+    }
+
+    #[test]
+    fn every_block_connected() {
+        let c = rs_latch();
+        for b in &c.blocks {
+            assert!(!c.nets_of_block(b.id).is_empty(), "{} floating", b.name);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Additional circuit families used for R-GCN pre-training diversity
+//! (comparators, level shifters, clock synchronizers, oscillators — the
+//! families listed in the paper's §IV-C dataset description).
+
+use crate::block::BlockKind;
+use crate::net::NetClass;
+use crate::netlist::Circuit;
+
+/// A clocked comparator: input pair, regenerative latch, output buffers and a
+/// clock switch (6 blocks).
+pub fn comparator() -> Circuit {
+    Circuit::builder("Comparator")
+        .block("CMP_IN", BlockKind::ComparatorInput, 64.0, 4)
+        .block("REGEN", BlockKind::RegenerativeStage, 48.0, 4)
+        .block("SW_CLK", BlockKind::Switch, 22.0, 3)
+        .block("BUF_P", BlockKind::Inverter, 20.0, 3)
+        .block("BUF_N", BlockKind::Inverter, 20.0, 3)
+        .block("TAIL", BlockKind::CurrentSource, 26.0, 2)
+        .net("dp", &[("CMP_IN", "outp"), ("REGEN", "inp")], NetClass::Critical)
+        .net("dn", &[("CMP_IN", "outn"), ("REGEN", "inn")], NetClass::Critical)
+        .net("clk", &[("SW_CLK", "g"), ("REGEN", "clk")], NetClass::Clock)
+        .net("qp", &[("REGEN", "qp"), ("BUF_P", "a")], NetClass::Signal)
+        .net("qn", &[("REGEN", "qn"), ("BUF_N", "a")], NetClass::Signal)
+        .net("tail", &[("CMP_IN", "s"), ("TAIL", "d"), ("SW_CLK", "d")], NetClass::Signal)
+        .symmetry_v(&[("BUF_P", "BUF_N"), ("CMP_IN", "CMP_IN"), ("REGEN", "REGEN")])
+        .build()
+        .expect("comparator is valid")
+}
+
+/// A high-voltage level shifter: cross-coupled pull-ups, input inverters and
+/// protection cascodes (6 blocks).
+pub fn level_shifter() -> Circuit {
+    Circuit::builder("LevelShifter")
+        .block("XCOUPLE", BlockKind::CrossCoupledPair, 44.0, 4)
+        .block("CASC_L", BlockKind::Cascode, 30.0, 3)
+        .block("CASC_R", BlockKind::Cascode, 30.0, 3)
+        .block("INV_IN", BlockKind::Inverter, 18.0, 3)
+        .block("INV_INB", BlockKind::Inverter, 18.0, 3)
+        .block("BUF_OUT", BlockKind::Inverter, 26.0, 3)
+        .net("in", &[("INV_IN", "a"), ("INV_INB", "y")], NetClass::Signal)
+        .net("dl", &[("INV_IN", "y"), ("CASC_L", "s")], NetClass::Signal)
+        .net("dr", &[("INV_INB", "a"), ("CASC_R", "s")], NetClass::Signal)
+        .net("xl", &[("CASC_L", "d"), ("XCOUPLE", "l")], NetClass::Critical)
+        .net("xr", &[("CASC_R", "d"), ("XCOUPLE", "r"), ("BUF_OUT", "a")], NetClass::Critical)
+        .symmetry_v(&[("CASC_L", "CASC_R"), ("INV_IN", "INV_INB"), ("XCOUPLE", "XCOUPLE")])
+        .build()
+        .expect("level shifter is valid")
+}
+
+/// A two-flop clock synchronizer with an output glitch filter (5 blocks).
+pub fn clock_synchronizer() -> Circuit {
+    Circuit::builder("ClockSync")
+        .block("FF1", BlockKind::LatchCore, 40.0, 4)
+        .block("FF2", BlockKind::LatchCore, 40.0, 4)
+        .block("CLK_BUF", BlockKind::Inverter, 22.0, 3)
+        .block("FILT", BlockKind::LogicGate, 28.0, 4)
+        .block("OUT_BUF", BlockKind::Inverter, 24.0, 3)
+        .net("clk", &[("CLK_BUF", "y"), ("FF1", "clk"), ("FF2", "clk")], NetClass::Clock)
+        .net("d1", &[("FF1", "q"), ("FF2", "d"), ("FILT", "a")], NetClass::Signal)
+        .net("d2", &[("FF2", "q"), ("FILT", "b")], NetClass::Signal)
+        .net("filt_out", &[("FILT", "y"), ("OUT_BUF", "a")], NetClass::Signal)
+        .alignment(crate::constraint::Axis::Horizontal, &["FF1", "FF2"])
+        .build()
+        .expect("clock synchronizer is valid")
+}
+
+/// A ring-style RC oscillator with bias and output divider (6 blocks).
+pub fn oscillator() -> Circuit {
+    Circuit::builder("Oscillator")
+        .block("GM_CELL", BlockKind::CommonSource, 46.0, 3)
+        .block("RES_T", BlockKind::ResistorBank, 110.0, 2)
+        .block("CAP_T", BlockKind::CapacitorBank, 150.0, 2)
+        .block("CMP", BlockKind::ComparatorInput, 52.0, 4)
+        .block("DIV", BlockKind::LatchCore, 38.0, 4)
+        .block("IBIAS", BlockKind::CurrentSource, 30.0, 2)
+        .net("ramp", &[("GM_CELL", "d"), ("CAP_T", "a"), ("CMP", "inp")], NetClass::Critical)
+        .net("thresh", &[("RES_T", "b"), ("CMP", "inn")], NetClass::Signal)
+        .net("osc", &[("CMP", "out"), ("DIV", "clk"), ("GM_CELL", "g")], NetClass::Clock)
+        .net("ib", &[("IBIAS", "out"), ("GM_CELL", "s"), ("RES_T", "a")], NetClass::Bias)
+        .build()
+        .expect("oscillator is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_misc_circuits_validate() {
+        for c in [comparator(), level_shifter(), clock_synchronizer(), oscillator()] {
+            c.validate().unwrap();
+            assert!(c.num_blocks() >= 5);
+            assert!(c.num_nets() >= 4);
+        }
+    }
+
+    #[test]
+    fn comparator_and_level_shifter_are_constrained() {
+        assert!(!comparator().constraints.is_empty());
+        assert!(!level_shifter().constraints.is_empty());
+    }
+
+    #[test]
+    fn oscillator_is_unconstrained() {
+        assert!(oscillator().constraints.is_empty());
+    }
+}

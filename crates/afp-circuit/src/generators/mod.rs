@@ -1,0 +1,176 @@
+//! Synthetic industrial-circuit generators.
+//!
+//! The paper evaluates on six proprietary Infineon designs and trains on five
+//! more. Those netlists are not available, so this module provides parametric
+//! generators that reproduce the circuits' *structural* properties — block
+//! counts, functional-structure mix, connectivity topology, constraint
+//! structure and realistic area distributions — which are the only properties
+//! the floorplanning experiments depend on (see `DESIGN.md`, substitution
+//! table).
+
+mod bias;
+mod driver;
+mod latch;
+mod misc;
+mod ota;
+
+pub use bias::{bias, bias19, bias3, bias9};
+pub use driver::driver;
+pub use latch::rs_latch;
+pub use misc::{clock_synchronizer, comparator, level_shifter, oscillator};
+pub use ota::{ota, ota3, ota5, ota8, ota8_schematic};
+
+use rand::Rng;
+
+use crate::netlist::Circuit;
+
+/// A circuit together with the metadata the experiments need.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCircuit {
+    /// The circuit itself.
+    pub circuit: Circuit,
+    /// `true` if the circuit is part of the RL training set ("seen"),
+    /// `false` for the transfer / zero-shot circuits (grey rows in Table I).
+    pub seen_during_training: bool,
+}
+
+/// The five circuits of the RL training curriculum (paper §IV-D5): three OTAs
+/// with 3, 5 and 8 blocks and two bias networks with 3 and 9 blocks, ordered
+/// by increasing complexity as required by hybrid curriculum learning.
+pub fn training_set() -> Vec<Circuit> {
+    vec![ota3(), bias3(), ota5(), ota8(), bias9()]
+}
+
+/// The six evaluation circuits of Table I, in the paper's row order:
+/// OTA-1 (5), OTA-2 (8), Bias-1 (9) — seen during training — and
+/// RS Latch (7), Driver (17), Bias-2 (19) — unseen.
+pub fn evaluation_set() -> Vec<BenchmarkCircuit> {
+    vec![
+        BenchmarkCircuit {
+            circuit: ota5(),
+            seen_during_training: true,
+        },
+        BenchmarkCircuit {
+            circuit: ota8(),
+            seen_during_training: true,
+        },
+        BenchmarkCircuit {
+            circuit: bias9(),
+            seen_during_training: true,
+        },
+        BenchmarkCircuit {
+            circuit: rs_latch(),
+            seen_during_training: false,
+        },
+        BenchmarkCircuit {
+            circuit: driver(),
+            seen_during_training: false,
+        },
+        BenchmarkCircuit {
+            circuit: bias19(),
+            seen_during_training: false,
+        },
+    ]
+}
+
+/// All circuit families used to build the R-GCN pre-training dataset
+/// (paper §IV-C: OTAs, bias circuits, drivers, level shifters, clock
+/// synchronizers, comparators and oscillators).
+pub fn dataset_families() -> Vec<Circuit> {
+    vec![
+        ota3(),
+        ota5(),
+        ota8(),
+        bias3(),
+        bias9(),
+        bias19(),
+        driver(),
+        rs_latch(),
+        comparator(),
+        level_shifter(),
+        clock_synchronizer(),
+        oscillator(),
+    ]
+}
+
+/// Produces a randomized variant of a circuit: block areas are jittered by up
+/// to ±`jitter` (relative), and constraints are kept or dropped with
+/// probability one half. Used to expand the pre-training dataset so the R-GCN
+/// sees a balance of constrained and unconstrained floorplans.
+pub fn random_variant<R: Rng + ?Sized>(base: &Circuit, jitter: f64, rng: &mut R) -> Circuit {
+    let mut c = base.clone();
+    for block in &mut c.blocks {
+        let factor = 1.0 + rng.gen_range(-jitter..=jitter);
+        block.area_um2 = (block.area_um2 * factor).max(1e-3);
+        block.stripe_width_um = (block.stripe_width_um * factor.sqrt()).max(0.05);
+    }
+    if rng.gen_bool(0.5) {
+        c.constraints = crate::constraint::ConstraintSet::new();
+    }
+    c.name = format!("{}-var{}", c.name, rng.gen_range(0..u32::MAX));
+    c
+}
+
+/// Samples a random circuit for dataset generation: picks a family and applies
+/// [`random_variant`].
+pub fn random_circuit<R: Rng + ?Sized>(rng: &mut R) -> Circuit {
+    let families = dataset_families();
+    let idx = rng.gen_range(0..families.len());
+    random_variant(&families[idx], 0.3, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn training_set_matches_paper_block_counts() {
+        let counts: Vec<usize> = training_set().iter().map(|c| c.num_blocks()).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        // Paper §IV-D5: 3, 5, 8 block OTAs and 3, 9 block bias circuits.
+        assert_eq!(sorted, vec![3, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn evaluation_set_matches_table_one() {
+        let set = evaluation_set();
+        let counts: Vec<usize> = set.iter().map(|b| b.circuit.num_blocks()).collect();
+        assert_eq!(counts, vec![5, 8, 9, 7, 17, 19]);
+        let seen: Vec<bool> = set.iter().map(|b| b.seen_during_training).collect();
+        assert_eq!(seen, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn all_dataset_families_validate() {
+        for c in dataset_families() {
+            c.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn random_variant_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let base = ota8();
+        let v = random_variant(&base, 0.3, &mut rng);
+        assert_eq!(v.num_blocks(), base.num_blocks());
+        assert_eq!(v.num_nets(), base.num_nets());
+        v.validate().unwrap();
+        // Areas differ but stay positive.
+        assert!(v.blocks.iter().all(|b| b.area_um2 > 0.0));
+        assert!(v
+            .blocks
+            .iter()
+            .zip(base.blocks.iter())
+            .any(|(a, b)| (a.area_um2 - b.area_um2).abs() > 1e-9));
+    }
+
+    #[test]
+    fn random_circuit_is_reproducible_per_seed() {
+        let a = random_circuit(&mut StdRng::seed_from_u64(7));
+        let b = random_circuit(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

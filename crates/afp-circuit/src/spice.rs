@@ -1,0 +1,283 @@
+//! A minimal SPICE-style netlist reader.
+//!
+//! The pipeline's input (paper Fig. 1) is a circuit schematic / netlist. This
+//! module parses the common flat SPICE card format so that external netlists
+//! can be fed into structure recognition without hand-building a
+//! [`Schematic`]:
+//!
+//! * `M<name> d g s b <model> [W=… L=… NF=… M=…]` — MOS transistors (model
+//!   names containing `p` are treated as PMOS),
+//! * `R<name> a b <value>` / `C<name> a b <value>` — passives,
+//! * `D<name> a k <model>` and `Q<name> c b e <model>` — diodes / BJTs,
+//! * `*` and `;` comments, `.end`/`.ends`/other dot-cards are ignored.
+//!
+//! Dimensions are read in micrometres (plain numbers) with the usual
+//! engineering suffixes (`u`, `n`, `m`, `k`) accepted.
+
+use std::fmt;
+
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::netlist::Schematic;
+
+/// Errors produced while parsing a SPICE netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpiceError {
+    /// A device card has fewer fields than its type requires.
+    TooFewFields {
+        /// The line number (1-based).
+        line: usize,
+        /// The device card's leading token.
+        card: String,
+    },
+    /// A numeric parameter could not be parsed.
+    BadNumber {
+        /// The line number (1-based).
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::TooFewFields { line, card } => {
+                write!(f, "line {line}: device card `{card}` has too few fields")
+            }
+            SpiceError::BadNumber { line, token } => {
+                write!(f, "line {line}: cannot parse number `{token}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+/// Parses a numeric value with an optional engineering suffix, returning the
+/// value scaled to micrometres-friendly units (`u` → 1, `n` → 1e-3, `m` → 1e3,
+/// `k` → 1e6; a bare number is taken as already being in µm).
+fn parse_value(token: &str, line: usize) -> Result<f64, SpiceError> {
+    let lower = token.trim().to_ascii_lowercase();
+    let (digits, scale) = match lower.chars().last() {
+        Some('u') => (&lower[..lower.len() - 1], 1.0),
+        Some('n') => (&lower[..lower.len() - 1], 1e-3),
+        Some('m') => (&lower[..lower.len() - 1], 1e3),
+        Some('k') => (&lower[..lower.len() - 1], 1e6),
+        _ => (lower.as_str(), 1.0),
+    };
+    digits
+        .parse::<f64>()
+        .map(|v| v * scale)
+        .map_err(|_| SpiceError::BadNumber {
+            line,
+            token: token.to_string(),
+        })
+}
+
+/// Extracts a `KEY=value` parameter (case-insensitive) from the fields of a
+/// card, if present.
+fn named_param(fields: &[&str], key: &str, line: usize) -> Result<Option<f64>, SpiceError> {
+    for field in fields {
+        if let Some((k, v)) = field.split_once('=') {
+            if k.eq_ignore_ascii_case(key) {
+                return parse_value(v, line).map(Some);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Parses a flat SPICE netlist into a device-level [`Schematic`].
+///
+/// # Errors
+///
+/// Returns a [`SpiceError`] for malformed device cards; unknown card types and
+/// dot-directives are skipped silently.
+pub fn parse_spice(name: &str, text: &str) -> Result<Schematic, SpiceError> {
+    let mut schematic = Schematic::new(name);
+    // (net name, device, terminal) triples collected before being grouped.
+    let mut connections: Vec<(String, DeviceId, &'static str)> = Vec::new();
+
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = line_no + 1;
+        let stripped = raw_line.split(';').next().unwrap_or("").trim();
+        if stripped.is_empty() || stripped.starts_with('*') || stripped.starts_with('.') {
+            continue;
+        }
+        let fields: Vec<&str> = stripped.split_whitespace().collect();
+        let card = fields[0];
+        let kind_char = card.chars().next().unwrap_or(' ').to_ascii_uppercase();
+        match kind_char {
+            'M' => {
+                if fields.len() < 6 {
+                    return Err(SpiceError::TooFewFields {
+                        line,
+                        card: card.to_string(),
+                    });
+                }
+                let model = fields[5].to_ascii_lowercase();
+                let kind = if model.contains('p') {
+                    DeviceKind::Pmos
+                } else {
+                    DeviceKind::Nmos
+                };
+                let w = named_param(&fields, "W", line)?.unwrap_or(1.0);
+                let l = named_param(&fields, "L", line)?.unwrap_or(0.5);
+                let nf = named_param(&fields, "NF", line)?.unwrap_or(1.0).max(1.0) as u32;
+                let m = named_param(&fields, "M", line)?.unwrap_or(1.0).max(1.0) as u32;
+                let mut device = Device::new(DeviceId(0), card, kind, w, l, nf);
+                device.multiplier = m;
+                let id = schematic.add_device(device);
+                connections.push((fields[1].to_string(), id, "d"));
+                connections.push((fields[2].to_string(), id, "g"));
+                connections.push((fields[3].to_string(), id, "s"));
+                connections.push((fields[4].to_string(), id, "b"));
+            }
+            'R' | 'C' => {
+                if fields.len() < 4 {
+                    return Err(SpiceError::TooFewFields {
+                        line,
+                        card: card.to_string(),
+                    });
+                }
+                let kind = if kind_char == 'R' {
+                    DeviceKind::Resistor
+                } else {
+                    DeviceKind::Capacitor
+                };
+                // Use the value as a crude width surrogate so areas are
+                // monotone in the component value; explicit W/L win if given.
+                let value = parse_value(fields[3], line).unwrap_or(1.0);
+                let w = named_param(&fields, "W", line)?.unwrap_or(value.abs().cbrt().max(0.5));
+                let l = named_param(&fields, "L", line)?.unwrap_or(w * 4.0);
+                let id = schematic.add_device(Device::new(DeviceId(0), card, kind, w, l, 1));
+                connections.push((fields[1].to_string(), id, "a"));
+                connections.push((fields[2].to_string(), id, "b"));
+            }
+            'D' | 'Q' => {
+                let min_fields = if kind_char == 'D' { 3 } else { 4 };
+                if fields.len() < min_fields {
+                    return Err(SpiceError::TooFewFields {
+                        line,
+                        card: card.to_string(),
+                    });
+                }
+                let kind = if kind_char == 'D' {
+                    DeviceKind::Diode
+                } else {
+                    DeviceKind::Bjt
+                };
+                let w = named_param(&fields, "W", line)?.unwrap_or(2.0);
+                let l = named_param(&fields, "L", line)?.unwrap_or(2.0);
+                let id = schematic.add_device(Device::new(DeviceId(0), card, kind, w, l, 1));
+                connections.push((fields[1].to_string(), id, "a"));
+                connections.push((fields[2].to_string(), id, "b"));
+                if kind_char == 'Q' {
+                    connections.push((fields[3].to_string(), id, "c"));
+                }
+            }
+            _ => {
+                // Unknown card (subcircuit instance, source, …): skipped.
+            }
+        }
+    }
+
+    // Group the collected pins by net name, preserving first-seen order.
+    let mut net_order: Vec<String> = Vec::new();
+    for (net, _, _) in &connections {
+        if !net_order.contains(net) {
+            net_order.push(net.clone());
+        }
+    }
+    for net in net_order {
+        let pins: Vec<(DeviceId, &str)> = connections
+            .iter()
+            .filter(|(n, _, _)| *n == net)
+            .map(|(_, d, t)| (*d, *t))
+            .collect();
+        schematic.connect(net, pins);
+    }
+    Ok(schematic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognition::recognize;
+
+    const FIVE_T_OTA: &str = r"* five transistor OTA
+M1 outl inp tail 0 nmos W=8u L=0.5u NF=2
+M2 out  inn tail 0 nmos W=8u L=0.5u NF=2
+M3 outl outl vdd vdd pmos W=12u L=0.5u NF=2
+M4 out  outl vdd vdd pmos W=12u L=0.5u NF=2
+M5 tail vbias 0 0 nmos W=16u L=1u NF=4
+C1 out 0 1.0
+.end
+";
+
+    #[test]
+    fn parses_devices_and_nets() {
+        let schematic = parse_spice("five-t", FIVE_T_OTA).unwrap();
+        assert_eq!(schematic.devices.len(), 6);
+        assert_eq!(schematic.devices[0].kind, DeviceKind::Nmos);
+        assert_eq!(schematic.devices[2].kind, DeviceKind::Pmos);
+        assert_eq!(schematic.devices[5].kind, DeviceKind::Capacitor);
+        assert!((schematic.devices[0].width_um - 8.0).abs() < 1e-9);
+        assert_eq!(schematic.devices[4].fingers, 4);
+        // The tail net connects the two input devices and the tail source.
+        let tail_members = schematic
+            .connections
+            .iter()
+            .find(|(n, _)| n == "tail")
+            .map(|(_, p)| p.len())
+            .unwrap();
+        assert_eq!(tail_members, 3);
+    }
+
+    #[test]
+    fn parsed_netlist_feeds_structure_recognition() {
+        let schematic = parse_spice("five-t", FIVE_T_OTA).unwrap();
+        let circuit = recognize(&schematic);
+        circuit.validate().unwrap();
+        let kinds: Vec<_> = circuit.blocks.iter().map(|b| b.kind).collect();
+        assert!(kinds.contains(&crate::BlockKind::DifferentialPair), "{kinds:?}");
+        assert!(kinds.contains(&crate::BlockKind::CurrentMirror), "{kinds:?}");
+    }
+
+    #[test]
+    fn engineering_suffixes_are_scaled() {
+        assert!((parse_value("8u", 1).unwrap() - 8.0).abs() < 1e-9);
+        assert!((parse_value("500n", 1).unwrap() - 0.5).abs() < 1e-9);
+        assert!((parse_value("2m", 1).unwrap() - 2000.0).abs() < 1e-9);
+        assert!((parse_value("3", 1).unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_cards_are_rejected() {
+        assert!(matches!(
+            parse_spice("bad", "M1 a b\n"),
+            Err(SpiceError::TooFewFields { .. })
+        ));
+        assert!(matches!(
+            parse_spice("bad", "M1 a b c d nmos W=xx\n"),
+            Err(SpiceError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_directives_are_ignored() {
+        let schematic = parse_spice(
+            "c",
+            "* comment only\n.subckt foo a b\nVdd vdd 0 1.8\n.ends\n",
+        )
+        .unwrap();
+        assert!(schematic.devices.is_empty());
+        assert!(schematic.connections.is_empty());
+    }
+
+    #[test]
+    fn error_messages_mention_line_numbers() {
+        let err = parse_spice("bad", "\n\nM9 a b\n").unwrap_err();
+        assert!(err.to_string().contains("line 3"));
+    }
+}

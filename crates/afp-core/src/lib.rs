@@ -1,0 +1,42 @@
+//! # afp-core — the end-to-end analog layout pipeline
+//!
+//! This facade crate ties the whole reproduction together, mirroring the
+//! paper's Fig. 1 pipeline, and provides the reporting machinery the
+//! experiment harnesses use:
+//!
+//! * [`LayoutPipeline`] — schematic → structure recognition → floorplanning
+//!   (R-GCN + RL agent, greedy placer or any baseline) → OARSMT global routing
+//!   → procedural layout completion,
+//! * [`report`] — the Table I / Table II row structures, the paper's recorded
+//!   manual-design reference values and plain-text rendering,
+//! * [`stats`] — interquartile means and standard deviations,
+//! * [`parallel`] — fan-out of independent experiment runs over worker
+//!   threads.
+//!
+//! # Examples
+//!
+//! ```
+//! use afp_circuit::generators;
+//! use afp_core::LayoutPipeline;
+//!
+//! let mut pipeline = LayoutPipeline::with_greedy();
+//! let result = pipeline.run(&generators::ota3());
+//! assert!(result.layout.area_um2 > 0.0);
+//! assert!(result.report.clean || !result.layout.drc_violations.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod parallel;
+pub mod pipeline;
+pub mod report;
+pub mod stats;
+
+pub use parallel::parallel_map;
+pub use pipeline::{FloorplanMethod, LayoutPipeline, PipelineConfig, PipelineResult};
+pub use report::{
+    format_table_one, format_table_two, paper_manual_references, ManualReference,
+    MethodMeasurements, MethodSummary, TableOneRow, TableTwoRow,
+};
+pub use stats::{interquartile_mean, mean, std_dev, Summary};

@@ -1,0 +1,81 @@
+//! Parallel evaluation helpers.
+//!
+//! Experiments such as the Table I sweep evaluate many independent
+//! (circuit, method, seed) combinations; this module fans them out over worker
+//! threads, mirroring the paper's use of 16 parallel environments to gather
+//! experience (§V-A) at the granularity where our single-process design allows
+//! it — across independent runs.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+/// Applies `f` to every item, distributing items across `workers` threads, and
+/// returns the results in the original item order.
+///
+/// # Panics
+///
+/// Propagates panics from worker closures.
+pub fn parallel_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.max(1);
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|_| loop {
+                let next = work.lock().pop();
+                match next {
+                    Some((index, item)) => {
+                        let out = f(item);
+                        results.lock()[index] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every item processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = parallel_map(items.clone(), 4, |x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_still_works() {
+        let out = parallel_map(vec![1, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_returns_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), 8, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = parallel_map(vec![5], 16, |x| x * x);
+        assert_eq!(out, vec![25]);
+    }
+}

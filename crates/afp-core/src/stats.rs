@@ -1,0 +1,98 @@
+//! Statistics helpers used by the experiment harnesses.
+//!
+//! Table I reports the interquartile mean and standard deviation over repeated
+//! runs; these helpers implement those aggregations plus simple formatting.
+
+/// Interquartile mean of a sample: the mean of the values between the 25th and
+/// 75th percentile (inclusive). Falls back to the plain mean for fewer than
+/// four samples.
+pub fn interquartile_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    if values.len() < 4 {
+        return mean(values);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = sorted.len() / 4;
+    let trimmed = &sorted[q..sorted.len() - q];
+    mean(trimmed)
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation (0.0 for fewer than two samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// A `mean ± std` summary of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Interquartile mean.
+    pub iq_mean: f64,
+    /// Standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Builds the summary of a sample.
+    pub fn of(values: &[f64]) -> Self {
+        Summary {
+            iq_mean: interquartile_mean(values),
+            std: std_dev(values),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.iq_mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-9);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interquartile_mean_trims_outliers() {
+        let v = [1.0, 10.0, 11.0, 12.0, 13.0, 100.0];
+        let iqm = interquartile_mean(&v);
+        assert!((iqm - 11.5).abs() < 1e-9);
+        assert!(iqm < mean(&v));
+    }
+
+    #[test]
+    fn small_samples_fall_back_to_mean() {
+        assert_eq!(interquartile_mean(&[3.0, 5.0]), 4.0);
+        assert_eq!(interquartile_mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_formats_like_the_paper() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let text = s.to_string();
+        assert!(text.contains('±'));
+    }
+}

@@ -1,0 +1,44 @@
+//! # afp-gnn — relational graph convolutional circuit representation learning
+//!
+//! Implements the paper's §IV-C: an R-GCN model (paper Eq. 2) is pre-trained
+//! to predict the reward of circuit graphs and its encoder is then reused as
+//! the circuit / block feature provider of the RL floorplanning agent.
+//!
+//! * [`RgcnLayer`] — one relational graph convolution layer with explicit
+//!   forward / backward passes,
+//! * [`RgcnEncoder`] — 4 layers + node mean aggregation producing
+//!   32-dimensional node and graph embeddings,
+//! * [`RewardModel`] — encoder + 5-layer MLP head for the supervised reward
+//!   regression (paper Fig. 3),
+//! * [`dataset`] — floorplan/reward dataset generation (paper: 21 600 samples
+//!   labelled by metaheuristic optimizers; the labeller is injectable),
+//! * [`train`] — the pre-training loop with train/validation tracking.
+//!
+//! # Examples
+//!
+//! ```
+//! use afp_circuit::{generators, CircuitGraph, NODE_FEATURE_DIM};
+//! use afp_gnn::RgcnEncoder;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut encoder = RgcnEncoder::new(NODE_FEATURE_DIM, &mut rng);
+//! let graph = CircuitGraph::from_circuit(&generators::ota8());
+//! let embedding = encoder.encode(&graph);
+//! assert_eq!(embedding.graph_embedding.len(), 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dataset;
+mod encoder;
+mod reward_model;
+mod rgcn;
+pub mod train;
+
+pub use dataset::{generate_dataset, generate_default_dataset, greedy_floorplan, LabeledGraph};
+pub use encoder::{CircuitEmbedding, RgcnEncoder, EMBEDDING_DIM};
+pub use reward_model::RewardModel;
+pub use rgcn::RgcnLayer;
+pub use train::{pretrain, pretrain_with_labeler, PretrainConfig, PretrainResult};

@@ -1,0 +1,188 @@
+//! Floorplan rendering: ASCII grid art and SVG export.
+//!
+//! Used by the Fig. 5 / Fig. 7 reproduction binaries to visualize masks,
+//! placements and routed layouts without any plotting dependency.
+
+use afp_circuit::Circuit;
+
+use crate::grid::GRID_SIZE;
+use crate::masks::Mask;
+use crate::placement::Floorplan;
+use crate::rect::Rect;
+
+/// Renders a floorplan as ASCII art: each placed block is drawn with a letter
+/// (`A`, `B`, …) on the 32×32 grid, empty cells as `.`.
+pub fn ascii_floorplan(floorplan: &Floorplan) -> String {
+    let mut grid = vec![b'.'; GRID_SIZE * GRID_SIZE];
+    for (i, placed) in floorplan.placed().iter().enumerate() {
+        let letter = b'A' + (i % 26) as u8;
+        for dy in 0..placed.grid_h {
+            for dx in 0..placed.grid_w {
+                let x = placed.cell.x + dx;
+                let y = placed.cell.y + dy;
+                if x < GRID_SIZE && y < GRID_SIZE {
+                    grid[y * GRID_SIZE + x] = letter;
+                }
+            }
+        }
+    }
+    let mut out = String::with_capacity((GRID_SIZE + 1) * GRID_SIZE);
+    // Render with the origin at the bottom-left, like the paper's figures.
+    for y in (0..GRID_SIZE).rev() {
+        for x in 0..GRID_SIZE {
+            out.push(grid[y * GRID_SIZE + x] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a scalar mask as ASCII art with a 10-level grey ramp
+/// (`" .:-=+*#%@"`), darkest for the highest values.
+pub fn ascii_mask(mask: &Mask) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((GRID_SIZE + 1) * GRID_SIZE);
+    for y in (0..GRID_SIZE).rev() {
+        for x in 0..GRID_SIZE {
+            let v = mask[y * GRID_SIZE + x].clamp(0.0, 1.0);
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// A polyline (sequence of points in µm) drawn on top of the floorplan, e.g. a
+/// routed net segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Overlay {
+    /// Polyline vertices in µm.
+    pub points: Vec<(f64, f64)>,
+    /// SVG stroke colour, e.g. `"#d62728"`.
+    pub color: String,
+}
+
+/// Renders a floorplan (and optional routing overlays) to a standalone SVG
+/// document string.
+pub fn svg_floorplan(circuit: &Circuit, floorplan: &Floorplan, overlays: &[Overlay]) -> String {
+    let bb = floorplan
+        .bounding_box()
+        .unwrap_or(Rect::from_origin_size(0.0, 0.0, 1.0, 1.0));
+    let margin = 0.05 * bb.width().max(bb.height()).max(1.0);
+    let view = bb.inflated(margin);
+    let scale = 800.0 / view.width().max(1e-9);
+    let height_px = view.height() * scale;
+    let mut svg = String::new();
+    svg.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"800\" height=\"{:.1}\" viewBox=\"0 0 800 {:.1}\">\n",
+        height_px, height_px
+    ));
+    svg.push_str("  <rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n");
+    const PALETTE: [&str; 8] = [
+        "#4c78a8", "#f58518", "#54a24b", "#e45756", "#72b7b2", "#eeca3b", "#b279a2", "#9d755d",
+    ];
+    let to_px = |x: f64, y: f64| -> (f64, f64) {
+        (
+            (x - view.x0) * scale,
+            height_px - (y - view.y0) * scale,
+        )
+    };
+    for (i, placed) in floorplan.placed().iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let (x, y_top) = to_px(placed.rect.x0, placed.rect.y1);
+        let w = placed.rect.width() * scale;
+        let h = placed.rect.height() * scale;
+        let name = circuit
+            .block(placed.block)
+            .map(|b| b.name.clone())
+            .unwrap_or_else(|| format!("B{}", placed.block.index()));
+        svg.push_str(&format!(
+            "  <rect x=\"{x:.1}\" y=\"{y_top:.1}\" width=\"{w:.1}\" height=\"{h:.1}\" fill=\"{color}\" fill-opacity=\"0.6\" stroke=\"#333\"/>\n"
+        ));
+        let (cx, cy) = to_px(placed.rect.center().0, placed.rect.center().1);
+        svg.push_str(&format!(
+            "  <text x=\"{cx:.1}\" y=\"{cy:.1}\" font-size=\"12\" text-anchor=\"middle\" fill=\"#111\">{name}</text>\n"
+        ));
+    }
+    for overlay in overlays {
+        if overlay.points.len() < 2 {
+            continue;
+        }
+        let pts: Vec<String> = overlay
+            .points
+            .iter()
+            .map(|&(x, y)| {
+                let (px, py) = to_px(x, y);
+                format!("{px:.1},{py:.1}")
+            })
+            .collect();
+        svg.push_str(&format!(
+            "  <polyline points=\"{}\" fill=\"none\" stroke=\"{}\" stroke-width=\"1.5\"/>\n",
+            pts.join(" "),
+            overlay.color
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Canvas, Cell};
+    use afp_circuit::{generators, BlockId, Shape};
+
+    fn sample() -> (Circuit, Floorplan) {
+        let circuit = generators::ota3();
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(6.0, 4.0), Cell::new(0, 0)).unwrap();
+        fp.place(BlockId(1), 0, Shape::new(4.0, 4.0), Cell::new(6, 0)).unwrap();
+        (circuit, fp)
+    }
+
+    #[test]
+    fn ascii_floorplan_has_expected_dimensions() {
+        let (_, fp) = sample();
+        let art = ascii_floorplan(&fp);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), GRID_SIZE);
+        assert!(lines.iter().all(|l| l.len() == GRID_SIZE));
+        // Two letters appear.
+        assert!(art.contains('A'));
+        assert!(art.contains('B'));
+        // Bottom row (last line) contains the placed blocks.
+        assert!(lines[GRID_SIZE - 1].starts_with("AAAAAABBBB"));
+    }
+
+    #[test]
+    fn ascii_mask_uses_ramp_extremes() {
+        let mut mask = vec![0.0f32; GRID_SIZE * GRID_SIZE];
+        mask[0] = 1.0;
+        let art = ascii_mask(&mask);
+        assert!(art.contains('@'));
+        assert!(art.contains(' '));
+    }
+
+    #[test]
+    fn svg_contains_block_names_and_overlays() {
+        let (circuit, fp) = sample();
+        let overlay = Overlay {
+            points: vec![(1.0, 1.0), (5.0, 5.0)],
+            color: "#d62728".into(),
+        };
+        let svg = svg_floorplan(&circuit, &fp, &[overlay]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains(&circuit.blocks[0].name));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn svg_for_empty_floorplan_is_valid() {
+        let circuit = generators::ota3();
+        let fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        let svg = svg_floorplan(&circuit, &fp, &[]);
+        assert!(svg.starts_with("<svg"));
+    }
+}

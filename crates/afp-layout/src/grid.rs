@@ -1,0 +1,170 @@
+//! The discretized placement canvas.
+//!
+//! The paper discretizes the layout space into a fixed 32×32 grid
+//! (§IV-D1): the canvas side is derived from the total block area and the
+//! maximum admissible floorplan aspect ratio `R_max = 11`, so that any
+//! reasonable placement of the circuit — including elongated ones — fits on
+//! the grid. Real block dimensions are mapped to grid cells with a ceiling so
+//! blocks are never under-approximated.
+
+use serde::{Deserialize, Serialize};
+
+use afp_circuit::{Circuit, Shape};
+
+/// Number of cells along each side of the placement grid (`32` in the paper).
+pub const GRID_SIZE: usize = 32;
+
+/// Maximum admissible floorplan aspect ratio used to size the canvas
+/// (`R_max = 11` in the paper, empirically derived).
+pub const DEFAULT_MAX_ASPECT_RATIO: f64 = 11.0;
+
+/// A cell coordinate on the placement grid (column `x`, row `y`), with the
+/// origin at the lower-left corner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Cell {
+    /// Column index, `0 ≤ x < GRID_SIZE`.
+    pub x: usize,
+    /// Row index, `0 ≤ y < GRID_SIZE`.
+    pub y: usize,
+}
+
+impl Cell {
+    /// Creates a cell coordinate.
+    pub fn new(x: usize, y: usize) -> Self {
+        Cell { x, y }
+    }
+
+    /// Linear index into a row-major `GRID_SIZE × GRID_SIZE` buffer.
+    pub fn index(self) -> usize {
+        self.y * GRID_SIZE + self.x
+    }
+
+    /// Builds a cell from a linear index.
+    pub fn from_index(index: usize) -> Self {
+        Cell {
+            x: index % GRID_SIZE,
+            y: index / GRID_SIZE,
+        }
+    }
+}
+
+/// The continuous canvas underlying the placement grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Canvas {
+    /// Canvas width in µm.
+    pub width_um: f64,
+    /// Canvas height in µm.
+    pub height_um: f64,
+}
+
+impl Canvas {
+    /// Builds a square canvas sized for the given circuit: the side is
+    /// `sqrt(Σ Aᵢ · r_max)` so that even a floorplan stretched to the maximum
+    /// admissible aspect ratio fits inside (paper §IV-D1 with `r_max = 11`).
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        Canvas::for_circuit_with_ratio(circuit, DEFAULT_MAX_ASPECT_RATIO)
+    }
+
+    /// Builds a square canvas with an explicit maximum aspect ratio.
+    pub fn for_circuit_with_ratio(circuit: &Circuit, max_aspect_ratio: f64) -> Self {
+        let total_area: f64 = circuit.total_block_area();
+        let side = (total_area * max_aspect_ratio.max(1.0)).sqrt().max(1e-6);
+        Canvas {
+            width_um: side,
+            height_um: side,
+        }
+    }
+
+    /// Builds a canvas with explicit dimensions.
+    pub fn new(width_um: f64, height_um: f64) -> Self {
+        Canvas {
+            width_um,
+            height_um,
+        }
+    }
+
+    /// Width of one grid cell in µm.
+    pub fn cell_width_um(&self) -> f64 {
+        self.width_um / GRID_SIZE as f64
+    }
+
+    /// Height of one grid cell in µm.
+    pub fn cell_height_um(&self) -> f64 {
+        self.height_um / GRID_SIZE as f64
+    }
+
+    /// Maps a block shape to its footprint in grid cells, using the paper's
+    /// ceiling mapping `w_g = ⌈w · 32 / W⌉`, `h_g = ⌈h · 32 / H⌉` so real
+    /// dimensions are never under-approximated. The result is clamped to the
+    /// grid so degenerate inputs stay representable.
+    pub fn shape_to_cells(&self, shape: &Shape) -> (usize, usize) {
+        let wg = (shape.width_um * GRID_SIZE as f64 / self.width_um).ceil() as usize;
+        let hg = (shape.height_um * GRID_SIZE as f64 / self.height_um).ceil() as usize;
+        (wg.clamp(1, GRID_SIZE), hg.clamp(1, GRID_SIZE))
+    }
+
+    /// Converts a grid cell to the µm coordinate of its lower-left corner.
+    pub fn cell_to_um(&self, cell: Cell) -> (f64, f64) {
+        (
+            cell.x as f64 * self.cell_width_um(),
+            cell.y as f64 * self.cell_height_um(),
+        )
+    }
+
+    /// Total canvas area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.width_um * self.height_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+
+    #[test]
+    fn cell_index_roundtrip() {
+        for idx in [0, 1, 31, 32, 555, GRID_SIZE * GRID_SIZE - 1] {
+            assert_eq!(Cell::from_index(idx).index(), idx);
+        }
+        assert_eq!(Cell::new(3, 2).index(), 2 * GRID_SIZE + 3);
+    }
+
+    #[test]
+    fn canvas_fits_total_area_with_margin() {
+        let c = generators::ota8();
+        let canvas = Canvas::for_circuit(&c);
+        assert!(canvas.area_um2() >= c.total_block_area() * DEFAULT_MAX_ASPECT_RATIO * 0.999);
+        assert_eq!(canvas.width_um, canvas.height_um);
+    }
+
+    #[test]
+    fn shape_mapping_uses_ceiling() {
+        let canvas = Canvas::new(32.0, 32.0); // 1 µm per cell
+        let (w, h) = canvas.shape_to_cells(&Shape::new(2.1, 0.9));
+        assert_eq!((w, h), (3, 1));
+    }
+
+    #[test]
+    fn shape_mapping_clamps_to_grid() {
+        let canvas = Canvas::new(10.0, 10.0);
+        let (w, h) = canvas.shape_to_cells(&Shape::new(100.0, 0.0001));
+        assert_eq!(w, GRID_SIZE);
+        assert_eq!(h, 1);
+    }
+
+    #[test]
+    fn cell_to_um_scales() {
+        let canvas = Canvas::new(64.0, 32.0);
+        let (x, y) = canvas.cell_to_um(Cell::new(2, 3));
+        assert_eq!(x, 4.0);
+        assert_eq!(y, 3.0);
+    }
+
+    #[test]
+    fn larger_circuits_get_larger_canvases() {
+        let small = Canvas::for_circuit(&generators::ota3());
+        let big = Canvas::for_circuit(&generators::driver());
+        assert!(big.width_um > small.width_um);
+    }
+}

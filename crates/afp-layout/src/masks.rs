@@ -1,0 +1,291 @@
+//! Grid-based observation masks for the RL agent.
+//!
+//! The agent's state (paper §IV-A, §IV-D2) combines the R-GCN embeddings with
+//! six 32×32 feature maps:
+//!
+//! * `f_g` — the binary grid view of the partial placement,
+//! * `f_w` — the wire mask: normalized HPWL increase for placing the current
+//!   block at each cell (after MaskPlace [4]),
+//! * `f_ds` — the dead-space mask: normalized increase in empty space
+//!   (the paper's extension over [4]),
+//! * `f_p` — three positional masks, one per candidate shape, marking the
+//!   cells where the block fits without overlap and keeps its constraints
+//!   satisfiable; these also drive invalid-action masking.
+
+use afp_circuit::{BlockId, Circuit, Shape, ShapeSet, SHAPES_PER_BLOCK};
+
+use crate::constraints::constraint_mask;
+use crate::grid::{Cell, GRID_SIZE};
+use crate::metrics::{dead_space, hpwl};
+use crate::placement::Floorplan;
+
+/// A row-major `GRID_SIZE × GRID_SIZE` feature map.
+pub type Mask = Vec<f32>;
+
+/// Number of feature maps fed to the CNN state feature extractor
+/// (`f_g`, `f_w`, `f_ds` and the three positional masks).
+pub const STATE_CHANNELS: usize = 3 + SHAPES_PER_BLOCK;
+
+/// The binary grid view `f_g`: 1 where a cell is occupied.
+pub fn grid_view(floorplan: &Floorplan) -> Mask {
+    floorplan
+        .occupancy()
+        .iter()
+        .map(|&o| if o { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// The positional mask for one candidate shape: 1 where the footprint fits
+/// without overlap *and* the constraint mask allows it.
+pub fn positional_mask(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    block: BlockId,
+    shape: &Shape,
+) -> Mask {
+    let (gw, gh) = floorplan.grid_footprint(shape);
+    let constraints = constraint_mask(circuit, floorplan, block, gw, gh);
+    let mut mask = vec![0.0f32; GRID_SIZE * GRID_SIZE];
+    for y in 0..GRID_SIZE {
+        for x in 0..GRID_SIZE {
+            let idx = y * GRID_SIZE + x;
+            if constraints[idx] == 1.0 && floorplan.fits(Cell::new(x, y), gw, gh) {
+                mask[idx] = 1.0;
+            }
+        }
+    }
+    mask
+}
+
+/// The three positional masks `f_p`, one per candidate shape.
+pub fn positional_masks(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    block: BlockId,
+    shapes: &ShapeSet,
+) -> [Mask; SHAPES_PER_BLOCK] {
+    [
+        positional_mask(circuit, floorplan, block, &shapes.shape(0)),
+        positional_mask(circuit, floorplan, block, &shapes.shape(1)),
+        positional_mask(circuit, floorplan, block, &shapes.shape(2)),
+    ]
+}
+
+/// The wire mask `f_w`: for every admissible cell, the increase in HPWL that
+/// placing `block` (with `shape`) there would cause, normalized to `[0, 1]`.
+/// Inadmissible cells are set to the maximum value `1.0`.
+pub fn wire_mask(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    block: BlockId,
+    shape: &Shape,
+) -> Mask {
+    delta_mask(circuit, floorplan, block, shape, |c, f| hpwl(c, f))
+}
+
+/// The dead-space mask `f_ds`: normalized increase in floorplan dead space for
+/// placing `block` at each cell; occupied / invalid cells are set to `1.0`
+/// (paper §IV-D2).
+pub fn dead_space_mask(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    block: BlockId,
+    shape: &Shape,
+) -> Mask {
+    delta_mask(circuit, floorplan, block, shape, |_, f| dead_space(f))
+}
+
+/// Shared implementation of the wire / dead-space masks: evaluates a metric
+/// delta for every admissible anchor cell and min-max normalizes it.
+fn delta_mask<F>(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    block: BlockId,
+    shape: &Shape,
+    metric: F,
+) -> Mask
+where
+    F: Fn(&Circuit, &Floorplan) -> f64,
+{
+    let (gw, gh) = floorplan.grid_footprint(shape);
+    let baseline = metric(circuit, floorplan);
+    let mut deltas = vec![f64::NAN; GRID_SIZE * GRID_SIZE];
+    let mut scratch = floorplan.clone();
+    let mut min_delta = f64::MAX;
+    let mut max_delta = f64::MIN;
+    for y in 0..GRID_SIZE {
+        for x in 0..GRID_SIZE {
+            let cell = Cell::new(x, y);
+            if !scratch.fits(cell, gw, gh) {
+                continue;
+            }
+            if scratch.place(block, 0, *shape, cell).is_err() {
+                continue;
+            }
+            let delta = metric(circuit, &scratch) - baseline;
+            scratch.unplace_last();
+            deltas[y * GRID_SIZE + x] = delta;
+            min_delta = min_delta.min(delta);
+            max_delta = max_delta.max(delta);
+        }
+    }
+    let span = (max_delta - min_delta).max(1e-12);
+    deltas
+        .into_iter()
+        .map(|d| {
+            if d.is_nan() {
+                1.0
+            } else if max_delta <= min_delta {
+                0.0
+            } else {
+                ((d - min_delta) / span) as f32
+            }
+        })
+        .collect()
+}
+
+/// Bundles the six feature maps of the agent state for the current block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateMasks {
+    /// Binary partial-placement grid `f_g`.
+    pub grid: Mask,
+    /// Wire mask `f_w`.
+    pub wire: Mask,
+    /// Dead-space mask `f_ds`.
+    pub dead_space: Mask,
+    /// Positional masks `f_p`, one per candidate shape.
+    pub positional: [Mask; SHAPES_PER_BLOCK],
+}
+
+impl StateMasks {
+    /// Builds all six masks for the block about to be placed. The wire and
+    /// dead-space masks are computed with the most-square candidate shape,
+    /// since they are shape-agnostic guidance signals.
+    pub fn build(
+        circuit: &Circuit,
+        floorplan: &Floorplan,
+        block: BlockId,
+        shapes: &ShapeSet,
+    ) -> Self {
+        let reference_shape = shapes.shape(shapes.most_square());
+        StateMasks {
+            grid: grid_view(floorplan),
+            wire: wire_mask(circuit, floorplan, block, &reference_shape),
+            dead_space: dead_space_mask(circuit, floorplan, block, &reference_shape),
+            positional: positional_masks(circuit, floorplan, block, shapes),
+        }
+    }
+
+    /// Flattens the masks into a single `[STATE_CHANNELS, 32, 32]`-shaped
+    /// buffer (channel-major) ready for the CNN feature extractor.
+    pub fn to_tensor_data(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(STATE_CHANNELS * GRID_SIZE * GRID_SIZE);
+        out.extend_from_slice(&self.grid);
+        out.extend_from_slice(&self.wire);
+        out.extend_from_slice(&self.dead_space);
+        for p in &self.positional {
+            out.extend_from_slice(p);
+        }
+        out
+    }
+
+    /// Returns `true` if no candidate shape has any admissible cell — the
+    /// episode is stuck and must be terminated with the violation penalty.
+    pub fn is_dead_end(&self) -> bool {
+        self.positional
+            .iter()
+            .all(|m| m.iter().all(|&v| v == 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Canvas;
+    use afp_circuit::{generators, BlockKind, NetClass};
+
+    fn small_circuit() -> Circuit {
+        Circuit::builder("m")
+            .block("A", BlockKind::CurrentMirror, 64.0, 3)
+            .block("B", BlockKind::DifferentialPair, 64.0, 4)
+            .net("ab", &[("A", "d"), ("B", "s")], NetClass::Signal)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn grid_view_tracks_occupancy() {
+        let c = small_circuit();
+        let canvas = Canvas::new(32.0, 32.0);
+        let mut fp = Floorplan::new(canvas);
+        assert_eq!(grid_view(&fp).iter().sum::<f32>(), 0.0);
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(0, 0)).unwrap();
+        assert_eq!(grid_view(&fp).iter().sum::<f32>(), 16.0);
+        let _ = &c;
+    }
+
+    #[test]
+    fn positional_mask_excludes_occupied_cells() {
+        let c = small_circuit();
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(8.0, 8.0), Cell::new(0, 0)).unwrap();
+        let mask = positional_mask(&c, &fp, BlockId(1), &Shape::new(4.0, 4.0));
+        // Anchor inside the occupied region is invalid.
+        assert_eq!(mask[0], 0.0);
+        assert_eq!(mask[2 * GRID_SIZE + 2], 0.0);
+        // Far corner is valid.
+        assert_eq!(mask[20 * GRID_SIZE + 20], 1.0);
+    }
+
+    #[test]
+    fn wire_mask_prefers_cells_near_connected_blocks() {
+        let c = small_circuit();
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(0, 0)).unwrap();
+        let wm = wire_mask(&c, &fp, BlockId(1), &Shape::new(4.0, 4.0));
+        // Placing right next to block A increases HPWL less than placing at
+        // the opposite corner.
+        let near = wm[0 * GRID_SIZE + 4];
+        let far = wm[27 * GRID_SIZE + 27];
+        assert!(near < far, "near={near} far={far}");
+    }
+
+    #[test]
+    fn dead_space_mask_marks_occupied_cells_as_max() {
+        let c = small_circuit();
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(6.0, 6.0), Cell::new(10, 10)).unwrap();
+        let ds = dead_space_mask(&c, &fp, BlockId(1), &Shape::new(4.0, 4.0));
+        assert_eq!(ds[12 * GRID_SIZE + 12], 1.0);
+        // Adjacent placement keeps dead space low.
+        let adjacent = ds[10 * GRID_SIZE + 16];
+        assert!(adjacent < 0.5, "adjacent={adjacent}");
+    }
+
+    #[test]
+    fn state_masks_shape_and_dead_end_detection() {
+        let circuit = generators::ota5();
+        let canvas = Canvas::for_circuit(&circuit);
+        let fp = Floorplan::new(canvas);
+        let order = circuit.blocks_by_decreasing_area();
+        let shapes = afp_circuit::shapes::shape_sets(&circuit);
+        let first = order[0];
+        let sm = StateMasks::build(&circuit, &fp, first, &shapes[first.index()]);
+        assert_eq!(sm.to_tensor_data().len(), STATE_CHANNELS * GRID_SIZE * GRID_SIZE);
+        assert!(!sm.is_dead_end());
+        assert!(sm.grid.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn masks_values_are_normalized() {
+        let c = small_circuit();
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(5, 5)).unwrap();
+        for mask in [
+            wire_mask(&c, &fp, BlockId(1), &Shape::new(4.0, 4.0)),
+            dead_space_mask(&c, &fp, BlockId(1), &Shape::new(4.0, 4.0)),
+        ] {
+            assert!(mask.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Incremental floorplan state: which block sits where, on the grid and in µm.
+
+use serde::{Deserialize, Serialize};
+
+use afp_circuit::{BlockId, Shape};
+
+use crate::grid::{Canvas, Cell, GRID_SIZE};
+use crate::rect::Rect;
+
+/// Errors returned when a placement action cannot be applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaceError {
+    /// The block footprint would extend past the grid boundary.
+    OutOfBounds,
+    /// The block footprint would overlap an already placed block.
+    Overlap,
+    /// The block has already been placed in this floorplan.
+    AlreadyPlaced,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::OutOfBounds => write!(f, "placement extends past the grid boundary"),
+            PlaceError::Overlap => write!(f, "placement overlaps an existing block"),
+            PlaceError::AlreadyPlaced => write!(f, "block is already placed"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// A block that has been placed on the floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedBlock {
+    /// The placed block.
+    pub block: BlockId,
+    /// Index of the chosen candidate shape (0–2).
+    pub shape_index: usize,
+    /// The chosen shape in µm.
+    pub shape: Shape,
+    /// Lower-left grid cell of the placement.
+    pub cell: Cell,
+    /// Footprint width in grid cells.
+    pub grid_w: usize,
+    /// Footprint height in grid cells.
+    pub grid_h: usize,
+    /// Real (non-quantized) rectangle occupied by the block, in µm, anchored
+    /// at the lower-left corner of `cell`.
+    pub rect: Rect,
+}
+
+/// The evolving floorplan of one episode: grid occupancy plus the real-valued
+/// rectangles of every placed block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    canvas: Canvas,
+    occupancy: Vec<bool>,
+    placed: Vec<PlacedBlock>,
+}
+
+impl Floorplan {
+    /// Creates an empty floorplan over the given canvas.
+    pub fn new(canvas: Canvas) -> Self {
+        Floorplan {
+            canvas,
+            occupancy: vec![false; GRID_SIZE * GRID_SIZE],
+            placed: Vec::new(),
+        }
+    }
+
+    /// The underlying canvas.
+    pub fn canvas(&self) -> &Canvas {
+        &self.canvas
+    }
+
+    /// The blocks placed so far, in placement order.
+    pub fn placed(&self) -> &[PlacedBlock] {
+        &self.placed
+    }
+
+    /// Number of placed blocks.
+    pub fn num_placed(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Returns `true` if the given block has been placed.
+    pub fn is_placed(&self, block: BlockId) -> bool {
+        self.placed.iter().any(|p| p.block == block)
+    }
+
+    /// The placement record of a block, if placed.
+    pub fn find(&self, block: BlockId) -> Option<&PlacedBlock> {
+        self.placed.iter().find(|p| p.block == block)
+    }
+
+    /// Raw grid occupancy (row-major, `GRID_SIZE × GRID_SIZE`).
+    pub fn occupancy(&self) -> &[bool] {
+        &self.occupancy
+    }
+
+    /// Returns `true` if the cell is inside the grid and not occupied.
+    pub fn is_free(&self, cell: Cell) -> bool {
+        cell.x < GRID_SIZE && cell.y < GRID_SIZE && !self.occupancy[cell.index()]
+    }
+
+    /// The grid footprint of a shape on this floorplan's canvas.
+    pub fn grid_footprint(&self, shape: &Shape) -> (usize, usize) {
+        self.canvas.shape_to_cells(shape)
+    }
+
+    /// Returns `true` if a footprint of `grid_w × grid_h` cells anchored at
+    /// `cell` stays on the grid and does not overlap occupied cells.
+    pub fn fits(&self, cell: Cell, grid_w: usize, grid_h: usize) -> bool {
+        if cell.x + grid_w > GRID_SIZE || cell.y + grid_h > GRID_SIZE {
+            return false;
+        }
+        for dy in 0..grid_h {
+            for dx in 0..grid_w {
+                if self.occupancy[(cell.y + dy) * GRID_SIZE + cell.x + dx] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Places a block with the given shape at the given lower-left cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError`] if the block is already placed, the footprint
+    /// leaves the grid, or it overlaps an existing block.
+    pub fn place(
+        &mut self,
+        block: BlockId,
+        shape_index: usize,
+        shape: Shape,
+        cell: Cell,
+    ) -> Result<(), PlaceError> {
+        if self.is_placed(block) {
+            return Err(PlaceError::AlreadyPlaced);
+        }
+        let (grid_w, grid_h) = self.grid_footprint(&shape);
+        if cell.x + grid_w > GRID_SIZE || cell.y + grid_h > GRID_SIZE {
+            return Err(PlaceError::OutOfBounds);
+        }
+        if !self.fits(cell, grid_w, grid_h) {
+            return Err(PlaceError::Overlap);
+        }
+        for dy in 0..grid_h {
+            for dx in 0..grid_w {
+                self.occupancy[(cell.y + dy) * GRID_SIZE + cell.x + dx] = true;
+            }
+        }
+        let (x_um, y_um) = self.canvas.cell_to_um(cell);
+        self.placed.push(PlacedBlock {
+            block,
+            shape_index,
+            shape,
+            cell,
+            grid_w,
+            grid_h,
+            rect: Rect::from_origin_size(x_um, y_um, shape.width_um, shape.height_um),
+        });
+        Ok(())
+    }
+
+    /// Removes the most recently placed block and returns its record.
+    /// Used by mask construction to evaluate hypothetical placements cheaply.
+    pub fn unplace_last(&mut self) -> Option<PlacedBlock> {
+        let last = self.placed.pop()?;
+        for dy in 0..last.grid_h {
+            for dx in 0..last.grid_w {
+                self.occupancy[(last.cell.y + dy) * GRID_SIZE + last.cell.x + dx] = false;
+            }
+        }
+        Some(last)
+    }
+
+    /// Bounding box (µm) of all placed blocks, or `None` if nothing is placed.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        Rect::bounding_box(self.placed.iter().map(|p| &p.rect))
+    }
+
+    /// Sum of the placed blocks' real areas in µm².
+    pub fn placed_area_um2(&self) -> f64 {
+        self.placed.iter().map(|p| p.rect.area()).sum()
+    }
+
+    /// Centre (µm) of a placed block, if placed.
+    pub fn block_center(&self, block: BlockId) -> Option<(f64, f64)> {
+        self.find(block).map(|p| p.rect.center())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canvas() -> Canvas {
+        Canvas::new(32.0, 32.0) // 1 µm per cell for easy arithmetic
+    }
+
+    #[test]
+    fn place_and_query() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(0), 0, Shape::new(3.0, 2.0), Cell::new(1, 1))
+            .unwrap();
+        assert!(fp.is_placed(BlockId(0)));
+        assert_eq!(fp.num_placed(), 1);
+        let p = fp.find(BlockId(0)).unwrap();
+        assert_eq!((p.grid_w, p.grid_h), (3, 2));
+        assert_eq!(p.rect, Rect::from_origin_size(1.0, 1.0, 3.0, 2.0));
+        assert_eq!(fp.block_center(BlockId(0)), Some((2.5, 2.0)));
+    }
+
+    #[test]
+    fn double_placement_rejected() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(0), 0, Shape::new(2.0, 2.0), Cell::new(0, 0))
+            .unwrap();
+        let err = fp.place(BlockId(0), 1, Shape::new(2.0, 2.0), Cell::new(5, 5));
+        assert_eq!(err, Err(PlaceError::AlreadyPlaced));
+    }
+
+    #[test]
+    fn overlap_rejected_and_state_unchanged() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(0, 0))
+            .unwrap();
+        let before = fp.clone();
+        let err = fp.place(BlockId(1), 0, Shape::new(2.0, 2.0), Cell::new(3, 3));
+        assert_eq!(err, Err(PlaceError::Overlap));
+        assert_eq!(fp, before);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut fp = Floorplan::new(canvas());
+        let err = fp.place(BlockId(0), 0, Shape::new(5.0, 5.0), Cell::new(30, 0));
+        assert_eq!(err, Err(PlaceError::OutOfBounds));
+    }
+
+    #[test]
+    fn unplace_restores_occupancy() {
+        let mut fp = Floorplan::new(canvas());
+        let empty = fp.clone();
+        fp.place(BlockId(0), 0, Shape::new(3.0, 3.0), Cell::new(2, 2))
+            .unwrap();
+        let removed = fp.unplace_last().unwrap();
+        assert_eq!(removed.block, BlockId(0));
+        assert_eq!(fp, empty);
+        assert!(fp.unplace_last().is_none());
+    }
+
+    #[test]
+    fn bounding_box_covers_all_blocks() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(0), 0, Shape::new(2.0, 2.0), Cell::new(0, 0))
+            .unwrap();
+        fp.place(BlockId(1), 0, Shape::new(2.0, 2.0), Cell::new(10, 10))
+            .unwrap();
+        let bb = fp.bounding_box().unwrap();
+        assert_eq!(bb, Rect::from_corners(0.0, 0.0, 12.0, 12.0));
+        assert_eq!(fp.placed_area_um2(), 8.0);
+    }
+
+    #[test]
+    fn touching_blocks_are_allowed() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(0, 0))
+            .unwrap();
+        fp.place(BlockId(1), 0, Shape::new(4.0, 4.0), Cell::new(4, 0))
+            .unwrap();
+        assert_eq!(fp.num_placed(), 2);
+    }
+}

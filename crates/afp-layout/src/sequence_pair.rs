@@ -1,0 +1,277 @@
+//! Sequence-pair floorplan representation.
+//!
+//! The metaheuristic baselines of the paper (SA, GA, PSO, and the RL-SA / RL
+//! predecessors of [13]) operate on the classic sequence-pair topological
+//! model [14]: two permutations `(s⁺, s⁻)` of the blocks encode the
+//! left-of / below relations, and a longest-path evaluation packs the blocks
+//! into a minimal enclosing rectangle.
+
+use serde::{Deserialize, Serialize};
+
+use afp_circuit::{BlockId, Circuit, Shape};
+
+use crate::grid::Canvas;
+use crate::placement::Floorplan;
+use crate::rect::Rect;
+
+/// A sequence pair plus a chosen shape per block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequencePair {
+    /// Positive sequence `s⁺` (block indices).
+    pub positive: Vec<usize>,
+    /// Negative sequence `s⁻` (block indices).
+    pub negative: Vec<usize>,
+    /// Chosen shape (width, height in µm) per block index.
+    pub shapes: Vec<Shape>,
+}
+
+/// The packed realization of a sequence pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedFloorplan {
+    /// Lower-left corners per block index, in µm.
+    pub positions: Vec<(f64, f64)>,
+    /// Rectangles per block index.
+    pub rects: Vec<Rect>,
+    /// Total width of the packing.
+    pub width: f64,
+    /// Total height of the packing.
+    pub height: f64,
+}
+
+impl SequencePair {
+    /// Creates the identity sequence pair (`0, 1, …, n−1` in both sequences)
+    /// with the given shapes — this packs every block in a single row.
+    pub fn identity(shapes: Vec<Shape>) -> Self {
+        let n = shapes.len();
+        SequencePair {
+            positive: (0..n).collect(),
+            negative: (0..n).collect(),
+            shapes,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Returns `true` for an empty sequence pair.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Packs the sequence pair with the standard longest-path evaluation and
+    /// returns block positions and the enclosing rectangle dimensions.
+    ///
+    /// Block `a` is left of block `b` iff `a` precedes `b` in both sequences;
+    /// `a` is below `b` iff `a` follows `b` in `s⁺` and precedes it in `s⁻`.
+    pub fn pack(&self) -> PackedFloorplan {
+        let n = self.len();
+        let mut pos_index = vec![0usize; n];
+        let mut neg_index = vec![0usize; n];
+        for (i, &b) in self.positive.iter().enumerate() {
+            pos_index[b] = i;
+        }
+        for (i, &b) in self.negative.iter().enumerate() {
+            neg_index[b] = i;
+        }
+        let mut x = vec![0.0f64; n];
+        let mut y = vec![0.0f64; n];
+        // Longest-path via repeated relaxation in topological-ish order: the
+        // precedence relations are acyclic, so n passes suffice for these
+        // small problem sizes (n ≤ a few dozen blocks).
+        for _ in 0..n {
+            let mut changed = false;
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let before_pos = pos_index[a] < pos_index[b];
+                    let before_neg = neg_index[a] < neg_index[b];
+                    if before_pos && before_neg {
+                        // a left of b
+                        let min_x = x[a] + self.shapes[a].width_um;
+                        if x[b] < min_x {
+                            x[b] = min_x;
+                            changed = true;
+                        }
+                    } else if !before_pos && before_neg {
+                        // a below b
+                        let min_y = y[a] + self.shapes[a].height_um;
+                        if y[b] < min_y {
+                            y[b] = min_y;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let rects: Vec<Rect> = (0..n)
+            .map(|i| {
+                Rect::from_origin_size(x[i], y[i], self.shapes[i].width_um, self.shapes[i].height_um)
+            })
+            .collect();
+        let width = rects.iter().map(|r| r.x1).fold(0.0, f64::max);
+        let height = rects.iter().map(|r| r.y1).fold(0.0, f64::max);
+        PackedFloorplan {
+            positions: (0..n).map(|i| (x[i], y[i])).collect(),
+            rects,
+            width,
+            height,
+        }
+    }
+
+    /// Converts the packed sequence pair into a [`Floorplan`] on the circuit's
+    /// canvas, so that the shared metric functions (HPWL, dead space, reward)
+    /// can be applied uniformly to RL and baseline results.
+    ///
+    /// Block positions are snapped to the placement grid; if the packing does
+    /// not fit the canvas, it is scaled down uniformly first (this mirrors how
+    /// a real flow would shrink an over-size baseline floorplan candidate).
+    pub fn to_floorplan(&self, circuit: &Circuit, canvas: Canvas) -> Floorplan {
+        let packed = self.pack();
+        let scale_x = if packed.width > canvas.width_um {
+            canvas.width_um / packed.width
+        } else {
+            1.0
+        };
+        let scale_y = if packed.height > canvas.height_um {
+            canvas.height_um / packed.height
+        } else {
+            1.0
+        };
+        let scale = scale_x.min(scale_y);
+        let mut fp = Floorplan::new(canvas);
+        // Place in increasing x, y order to keep occupancy consistent.
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            (packed.positions[a].1, packed.positions[a].0)
+                .partial_cmp(&(packed.positions[b].1, packed.positions[b].0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for i in order {
+            let (px, py) = packed.positions[i];
+            let shape = Shape::new(self.shapes[i].width_um * scale, self.shapes[i].height_um * scale);
+            let cell_x = ((px * scale) / canvas.cell_width_um()).round() as usize;
+            let cell_y = ((py * scale) / canvas.cell_height_um()).round() as usize;
+            let cell = crate::grid::Cell::new(
+                cell_x.min(crate::grid::GRID_SIZE - 1),
+                cell_y.min(crate::grid::GRID_SIZE - 1),
+            );
+            // Grid snapping can create spurious overlaps; scan outward for the
+            // nearest free anchor so every block ends up placed.
+            let (gw, gh) = fp.grid_footprint(&shape);
+            let target = find_nearest_fit(&fp, cell, gw, gh);
+            if let Some(cell) = target {
+                let _ = fp.place(BlockId(circuit.blocks[i].id.index()), 0, shape, cell);
+            }
+        }
+        fp
+    }
+}
+
+/// Scans outward from `start` for the nearest cell where a `gw × gh` footprint
+/// fits, returning `None` if the grid is exhausted.
+fn find_nearest_fit(
+    fp: &Floorplan,
+    start: crate::grid::Cell,
+    gw: usize,
+    gh: usize,
+) -> Option<crate::grid::Cell> {
+    use crate::grid::{Cell, GRID_SIZE};
+    if fp.fits(start, gw, gh) {
+        return Some(start);
+    }
+    for radius in 1..GRID_SIZE {
+        for dy in -(radius as isize)..=(radius as isize) {
+            for dx in -(radius as isize)..=(radius as isize) {
+                if dx.abs().max(dy.abs()) != radius as isize {
+                    continue;
+                }
+                let x = start.x as isize + dx;
+                let y = start.y as isize + dy;
+                if x < 0 || y < 0 {
+                    continue;
+                }
+                let cell = Cell::new(x as usize, y as usize);
+                if cell.x < GRID_SIZE && cell.y < GRID_SIZE && fp.fits(cell, gw, gh) {
+                    return Some(cell);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+
+    fn shapes(n: usize) -> Vec<Shape> {
+        (0..n).map(|i| Shape::new(2.0 + i as f64, 3.0)).collect()
+    }
+
+    #[test]
+    fn identity_packs_in_a_row() {
+        let sp = SequencePair::identity(shapes(3));
+        let packed = sp.pack();
+        assert_eq!(packed.positions[0], (0.0, 0.0));
+        assert_eq!(packed.positions[1], (2.0, 0.0));
+        assert_eq!(packed.positions[2], (5.0, 0.0));
+        assert_eq!(packed.width, 9.0);
+        assert_eq!(packed.height, 3.0);
+    }
+
+    #[test]
+    fn reversed_negative_packs_in_a_column() {
+        let mut sp = SequencePair::identity(shapes(3));
+        sp.negative.reverse();
+        let packed = sp.pack();
+        assert_eq!(packed.height, 9.0);
+        assert!((packed.width - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn packing_has_no_overlaps() {
+        let mut sp = SequencePair::identity(shapes(5));
+        sp.positive = vec![2, 0, 4, 1, 3];
+        sp.negative = vec![4, 1, 2, 3, 0];
+        let packed = sp.pack();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert!(
+                    !packed.rects[i].overlaps(&packed.rects[j]),
+                    "blocks {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn to_floorplan_places_every_block() {
+        let circuit = generators::ota5();
+        let canvas = Canvas::for_circuit(&circuit);
+        let shapes: Vec<Shape> = circuit
+            .blocks
+            .iter()
+            .map(|b| Shape::from_area_and_aspect(b.area_um2, 1.0))
+            .collect();
+        let sp = SequencePair::identity(shapes);
+        let fp = sp.to_floorplan(&circuit, canvas);
+        assert_eq!(fp.num_placed(), circuit.num_blocks());
+    }
+
+    #[test]
+    fn empty_sequence_pair() {
+        let sp = SequencePair::identity(Vec::new());
+        assert!(sp.is_empty());
+        let packed = sp.pack();
+        assert_eq!(packed.width, 0.0);
+        assert_eq!(packed.height, 0.0);
+    }
+}

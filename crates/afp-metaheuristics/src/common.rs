@@ -1,0 +1,287 @@
+//! Shared machinery of the baseline floorplanners: candidate encoding,
+//! cost function, perturbation moves and result reporting.
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use afp_circuit::{shapes::shape_sets, Circuit, Shape, ShapeSet, SHAPES_PER_BLOCK};
+use afp_layout::{metrics, Canvas, Floorplan, RewardWeights, SequencePair, SpacingConfig};
+
+/// A candidate solution: a sequence pair plus the index of the chosen
+/// candidate shape for every block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Positive sequence (block indices).
+    pub positive: Vec<usize>,
+    /// Negative sequence (block indices).
+    pub negative: Vec<usize>,
+    /// Chosen shape index per block (0..SHAPES_PER_BLOCK).
+    pub shape_choice: Vec<usize>,
+}
+
+impl Candidate {
+    /// The identity candidate: natural order, most-square shapes.
+    pub fn identity(num_blocks: usize, shape_sets: &[ShapeSet]) -> Self {
+        Candidate {
+            positive: (0..num_blocks).collect(),
+            negative: (0..num_blocks).collect(),
+            shape_choice: shape_sets.iter().map(|s| s.most_square()).collect(),
+        }
+    }
+
+    /// A uniformly random candidate.
+    pub fn random<R: Rng + ?Sized>(num_blocks: usize, rng: &mut R) -> Self {
+        let mut positive: Vec<usize> = (0..num_blocks).collect();
+        let mut negative: Vec<usize> = (0..num_blocks).collect();
+        shuffle(&mut positive, rng);
+        shuffle(&mut negative, rng);
+        Candidate {
+            positive,
+            negative,
+            shape_choice: (0..num_blocks)
+                .map(|_| rng.gen_range(0..SHAPES_PER_BLOCK))
+                .collect(),
+        }
+    }
+
+    /// Applies a random perturbation move in place: swap two blocks in the
+    /// positive sequence, in the negative sequence, in both, or change one
+    /// block's shape.
+    pub fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.positive.len();
+        if n < 2 {
+            return;
+        }
+        match rng.gen_range(0..4) {
+            0 => {
+                let (i, j) = two_distinct(n, rng);
+                self.positive.swap(i, j);
+            }
+            1 => {
+                let (i, j) = two_distinct(n, rng);
+                self.negative.swap(i, j);
+            }
+            2 => {
+                let (i, j) = two_distinct(n, rng);
+                self.positive.swap(i, j);
+                let (i, j) = two_distinct(n, rng);
+                self.negative.swap(i, j);
+            }
+            _ => {
+                let b = rng.gen_range(0..n);
+                self.shape_choice[b] = rng.gen_range(0..SHAPES_PER_BLOCK);
+            }
+        }
+    }
+
+    /// Converts the candidate to a packed [`SequencePair`] over the given
+    /// shapes (one [`ShapeSet`] per block, optionally congestion-inflated).
+    pub fn to_sequence_pair(&self, shapes: &[Shape]) -> SequencePair {
+        SequencePair {
+            positive: self.positive.clone(),
+            negative: self.negative.clone(),
+            shapes: shapes.to_vec(),
+        }
+    }
+}
+
+fn shuffle<R: Rng + ?Sized, T>(v: &mut [T], rng: &mut R) {
+    for i in (1..v.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+fn two_distinct<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
+    let i = rng.gen_range(0..n);
+    let mut j = rng.gen_range(0..n);
+    while j == i {
+        j = rng.gen_range(0..n);
+    }
+    (i, j)
+}
+
+/// The shared evaluation context: circuit, canvas, per-block shape sets,
+/// optional congestion-aware spacing and the reward normalization.
+#[derive(Debug)]
+pub struct Problem {
+    /// The circuit being floorplanned.
+    pub circuit: Circuit,
+    /// The placement canvas.
+    pub canvas: Canvas,
+    /// Candidate shapes per block.
+    pub shape_sets: Vec<ShapeSet>,
+    /// Congestion-aware spacing applied to baseline shapes (paper §V-B), or
+    /// `None` to pack the raw shapes.
+    pub spacing: Option<SpacingConfig>,
+    /// `HPWL_min` estimate used by the reward (paper Eq. 5).
+    pub hpwl_min: f64,
+    /// Reward weights (α, β, γ, violation penalty).
+    pub weights: RewardWeights,
+}
+
+impl Problem {
+    /// Builds the evaluation context for a circuit with the paper's defaults
+    /// (congestion-aware spacing enabled for baselines).
+    pub fn new(circuit: &Circuit) -> Self {
+        Problem {
+            canvas: Canvas::for_circuit(circuit),
+            shape_sets: shape_sets(circuit),
+            spacing: Some(SpacingConfig::default()),
+            hpwl_min: metrics::hpwl_lower_bound(circuit),
+            weights: RewardWeights::default(),
+            circuit: circuit.clone(),
+        }
+    }
+
+    /// Disables the congestion-aware spacing decoration.
+    pub fn without_spacing(mut self) -> Self {
+        self.spacing = None;
+        self
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.circuit.num_blocks()
+    }
+
+    /// The (possibly inflated) shape of each block under a candidate's shape
+    /// choices.
+    pub fn shapes_for(&self, candidate: &Candidate) -> Vec<Shape> {
+        let raw: Vec<Shape> = candidate
+            .shape_choice
+            .iter()
+            .enumerate()
+            .map(|(b, &s)| self.shape_sets[b].shape(s))
+            .collect();
+        match &self.spacing {
+            Some(cfg) => cfg.inflate_all(&self.circuit, &raw),
+            None => raw,
+        }
+    }
+
+    /// Realizes a candidate as a floorplan on the shared canvas.
+    pub fn realize(&self, candidate: &Candidate) -> Floorplan {
+        let shapes = self.shapes_for(candidate);
+        candidate
+            .to_sequence_pair(&shapes)
+            .to_floorplan(&self.circuit, self.canvas)
+    }
+
+    /// Cost of a candidate (lower is better): the negative episode reward of
+    /// its floorplan, so that cost minimization and reward maximization agree.
+    pub fn cost(&self, candidate: &Candidate) -> f64 {
+        let floorplan = self.realize(candidate);
+        -metrics::episode_reward(&self.circuit, &floorplan, self.hpwl_min, &self.weights)
+    }
+}
+
+/// The outcome of one baseline optimization run.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// Name of the algorithm that produced the result.
+    pub algorithm: String,
+    /// The final floorplan.
+    pub floorplan: Floorplan,
+    /// Metrics of the final floorplan.
+    pub metrics: metrics::FloorplanMetrics,
+    /// Episode reward (paper Eq. 5) of the final floorplan.
+    pub reward: f64,
+    /// Wall-clock optimization time in seconds.
+    pub runtime_s: f64,
+    /// Number of candidate evaluations performed.
+    pub evaluations: usize,
+}
+
+impl BaselineResult {
+    /// Assembles a result from a problem and its best candidate.
+    pub fn from_candidate(
+        algorithm: &str,
+        problem: &Problem,
+        candidate: &Candidate,
+        started: Instant,
+        evaluations: usize,
+    ) -> Self {
+        let floorplan = problem.realize(candidate);
+        let m = metrics::metrics(&problem.circuit, &floorplan);
+        let reward = metrics::episode_reward(
+            &problem.circuit,
+            &floorplan,
+            problem.hpwl_min,
+            &problem.weights,
+        );
+        BaselineResult {
+            algorithm: algorithm.to_string(),
+            floorplan,
+            metrics: m,
+            reward,
+            runtime_s: started.elapsed().as_secs_f64(),
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_candidate_is_well_formed() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let c = Candidate::identity(problem.num_blocks(), &problem.shape_sets);
+        assert_eq!(c.positive.len(), 5);
+        assert_eq!(c.shape_choice.len(), 5);
+        let cost = problem.cost(&c);
+        assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn random_candidates_are_permutations() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let c = Candidate::random(8, &mut rng);
+        let mut pos = c.positive.clone();
+        pos.sort_unstable();
+        assert_eq!(pos, (0..8).collect::<Vec<_>>());
+        let mut neg = c.negative.clone();
+        neg.sort_unstable();
+        assert_eq!(neg, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn perturbation_preserves_permutation_property() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Candidate::random(10, &mut rng);
+        for _ in 0..50 {
+            c.perturb(&mut rng);
+        }
+        let mut pos = c.positive.clone();
+        pos.sort_unstable();
+        assert_eq!(pos, (0..10).collect::<Vec<_>>());
+        assert!(c.shape_choice.iter().all(|&s| s < SHAPES_PER_BLOCK));
+    }
+
+    #[test]
+    fn spacing_increases_cost() {
+        let circuit = generators::ota8();
+        let with = Problem::new(&circuit);
+        let without = Problem::new(&circuit).without_spacing();
+        let c = Candidate::identity(with.num_blocks(), &with.shape_sets);
+        // Inflated shapes should not make the floorplan cheaper.
+        assert!(with.cost(&c) >= without.cost(&c) * 0.99);
+    }
+
+    #[test]
+    fn realize_places_all_blocks() {
+        let circuit = generators::bias9();
+        let problem = Problem::new(&circuit);
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = Candidate::random(problem.num_blocks(), &mut rng);
+        let fp = problem.realize(&c);
+        assert_eq!(fp.num_placed(), circuit.num_blocks());
+    }
+}

@@ -1,0 +1,217 @@
+//! Genetic algorithm over sequence pairs.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
+
+use crate::common::{BaselineResult, Candidate, Problem};
+
+/// Genetic-algorithm configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Number of individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Probability of mutating each offspring.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Number of elite individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl GaConfig {
+    /// A configuration small enough for unit tests.
+    pub fn small() -> Self {
+        GaConfig {
+            population: 16,
+            generations: 12,
+            mutation_rate: 0.3,
+            tournament: 3,
+            elitism: 2,
+            seed: 0,
+        }
+    }
+
+    /// Configuration used for the Table I reproduction (GA runtimes in the
+    /// paper are ≈5× the SA runtimes, which this population/generation budget
+    /// reproduces).
+    pub fn table1() -> Self {
+        GaConfig {
+            population: 40,
+            generations: 60,
+            mutation_rate: 0.25,
+            tournament: 4,
+            elitism: 3,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig::small()
+    }
+}
+
+/// Order crossover (OX1) of two parent permutations.
+fn order_crossover<R: Rng + ?Sized>(a: &[usize], b: &[usize], rng: &mut R) -> Vec<usize> {
+    let n = a.len();
+    if n < 2 {
+        return a.to_vec();
+    }
+    let i = rng.gen_range(0..n);
+    let j = rng.gen_range(0..n);
+    let (lo, hi) = (i.min(j), i.max(j));
+    let mut child = vec![usize::MAX; n];
+    child[lo..=hi].copy_from_slice(&a[lo..=hi]);
+    let segment: Vec<usize> = child[lo..=hi].to_vec();
+    let fill: Vec<usize> = b.iter().copied().filter(|x| !segment.contains(x)).collect();
+    let mut fill = fill.into_iter();
+    for slot in child.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = fill.next().expect("enough remaining genes");
+        }
+    }
+    child
+}
+
+fn crossover<R: Rng + ?Sized>(a: &Candidate, b: &Candidate, rng: &mut R) -> Candidate {
+    let shape_choice = a
+        .shape_choice
+        .iter()
+        .zip(b.shape_choice.iter())
+        .map(|(&sa, &sb)| if rng.gen_bool(0.5) { sa } else { sb })
+        .collect();
+    Candidate {
+        positive: order_crossover(&a.positive, &b.positive, rng),
+        negative: order_crossover(&a.negative, &b.negative, rng),
+        shape_choice,
+    }
+}
+
+/// Runs the genetic algorithm on a circuit.
+pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult {
+    let problem = Problem::new(circuit);
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = problem.num_blocks();
+
+    let mut population: Vec<Candidate> = (0..config.population)
+        .map(|i| {
+            if i == 0 {
+                Candidate::identity(n, &problem.shape_sets)
+            } else {
+                Candidate::random(n, &mut rng)
+            }
+        })
+        .collect();
+    let mut costs: Vec<f64> = population.iter().map(|c| problem.cost(c)).collect();
+    let mut evaluations = population.len();
+
+    for _gen in 0..config.generations {
+        // Sort by fitness (ascending cost).
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut next: Vec<Candidate> = order
+            .iter()
+            .take(config.elitism.min(population.len()))
+            .map(|&i| population[i].clone())
+            .collect();
+        while next.len() < config.population {
+            let parent_a = tournament_select(&population, &costs, config.tournament, &mut rng);
+            let parent_b = tournament_select(&population, &costs, config.tournament, &mut rng);
+            let mut child = crossover(parent_a, parent_b, &mut rng);
+            if rng.gen::<f64>() < config.mutation_rate {
+                child.perturb(&mut rng);
+            }
+            if rng.gen::<f64>() < config.mutation_rate / 2.0 {
+                let b = rng.gen_range(0..n);
+                child.shape_choice[b] = rng.gen_range(0..SHAPES_PER_BLOCK);
+            }
+            next.push(child);
+        }
+        population = next;
+        costs = population.iter().map(|c| problem.cost(c)).collect();
+        evaluations += population.len();
+    }
+
+    let best_idx = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    BaselineResult::from_candidate("GA", &problem, &population[best_idx], started, evaluations)
+}
+
+fn tournament_select<'a, R: Rng + ?Sized>(
+    population: &'a [Candidate],
+    costs: &[f64],
+    k: usize,
+    rng: &mut R,
+) -> &'a Candidate {
+    let mut best = rng.gen_range(0..population.len());
+    for _ in 1..k.max(1) {
+        let challenger = rng.gen_range(0..population.len());
+        if costs[challenger] < costs[best] {
+            best = challenger;
+        }
+    }
+    &population[best]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+
+    #[test]
+    fn order_crossover_produces_permutation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a: Vec<usize> = (0..9).collect();
+        let b: Vec<usize> = (0..9).rev().collect();
+        for _ in 0..20 {
+            let mut child = order_crossover(&a, &b, &mut rng);
+            child.sort_unstable();
+            assert_eq!(child, (0..9).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn ga_places_all_blocks_and_is_deterministic() {
+        let circuit = generators::ota5();
+        let a = genetic_algorithm(&circuit, &GaConfig::small());
+        let b = genetic_algorithm(&circuit, &GaConfig::small());
+        assert_eq!(a.reward, b.reward);
+        assert_eq!(a.floorplan.num_placed(), circuit.num_blocks());
+        assert_eq!(a.algorithm, "GA");
+    }
+
+    #[test]
+    fn more_generations_do_not_hurt() {
+        let circuit = generators::ota3();
+        let short = genetic_algorithm(
+            &circuit,
+            &GaConfig {
+                generations: 2,
+                ..GaConfig::small()
+            },
+        );
+        let long = genetic_algorithm(
+            &circuit,
+            &GaConfig {
+                generations: 20,
+                ..GaConfig::small()
+            },
+        );
+        assert!(long.reward >= short.reward - 1e-9);
+        assert!(long.evaluations > short.evaluations);
+    }
+}

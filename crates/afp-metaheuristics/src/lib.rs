@@ -1,0 +1,166 @@
+//! # afp-metaheuristics — baseline floorplanners
+//!
+//! The comparison baselines of the paper's Table I, all operating on the
+//! sequence-pair topological model of `afp-layout`:
+//!
+//! * [`simulated_annealing`] — SA, the methodology used by state-of-the-art
+//!   automatic layout generators such as ALIGN [28],
+//! * [`genetic_algorithm`] — GA with order crossover,
+//! * [`particle_swarm`] — PSO with random-key permutation encoding,
+//! * [`rl_sa`] — the RL + SA hybrid of the predecessor work [13],
+//! * [`sequence_pair_rl`] — the pure per-instance sequence-pair RL of [13].
+//!
+//! Every baseline applies congestion-aware device spacing by default
+//! (paper §V-B) so that its floorplans are comparable with the routing-ready
+//! floorplans of the R-GCN + RL method, and every baseline reports the same
+//! [`BaselineResult`] (runtime, HPWL, dead space, reward) that Table I lists.
+//!
+//! # Examples
+//!
+//! ```
+//! use afp_circuit::generators;
+//! use afp_metaheuristics::{simulated_annealing, SaConfig};
+//!
+//! let circuit = generators::ota3();
+//! let result = simulated_annealing(&circuit, &SaConfig::small());
+//! assert_eq!(result.floorplan.num_placed(), 3);
+//! assert!(result.reward < 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod common;
+mod ga;
+mod pso;
+mod rl_sa;
+mod sa;
+mod sp_rl;
+
+pub use common::{BaselineResult, Candidate, Problem};
+pub use ga::{genetic_algorithm, GaConfig};
+pub use pso::{particle_swarm, PsoConfig};
+pub use rl_sa::{rl_sa, RlSaConfig};
+pub use sa::{simulated_annealing, simulated_annealing_on, SaConfig};
+pub use sp_rl::{sequence_pair_rl, SpRlConfig};
+
+use afp_circuit::Circuit;
+
+/// Convenience enum naming every baseline, used by the Table I harness.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Baseline {
+    /// Simulated annealing.
+    Sa(SaConfig),
+    /// Genetic algorithm.
+    Ga(GaConfig),
+    /// Particle swarm optimization.
+    Pso(PsoConfig),
+    /// RL + SA hybrid of [13].
+    RlSa(RlSaConfig),
+    /// Pure sequence-pair RL of [13].
+    SpRl(SpRlConfig),
+}
+
+impl Baseline {
+    /// All baselines with their unit-test-sized configurations.
+    pub fn all_small() -> Vec<Baseline> {
+        vec![
+            Baseline::Sa(SaConfig::small()),
+            Baseline::Ga(GaConfig::small()),
+            Baseline::Pso(PsoConfig::small()),
+            Baseline::RlSa(RlSaConfig::small()),
+            Baseline::SpRl(SpRlConfig::small()),
+        ]
+    }
+
+    /// All baselines with their Table I reproduction configurations.
+    pub fn all_table1() -> Vec<Baseline> {
+        vec![
+            Baseline::Sa(SaConfig::table1()),
+            Baseline::Ga(GaConfig::table1()),
+            Baseline::Pso(PsoConfig::table1()),
+            Baseline::RlSa(RlSaConfig::table1()),
+            Baseline::SpRl(SpRlConfig::table1()),
+        ]
+    }
+
+    /// Display name used in tables (matches the paper's column headers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::Sa(_) => "SA",
+            Baseline::Ga(_) => "GA",
+            Baseline::Pso(_) => "PSO",
+            Baseline::RlSa(_) => "RL-SA",
+            Baseline::SpRl(_) => "RL (SP)",
+        }
+    }
+
+    /// Runs the baseline on a circuit with a specific seed (the Table I
+    /// harness repeats runs over several seeds to report interquartile means).
+    pub fn run(&self, circuit: &Circuit, seed: u64) -> BaselineResult {
+        match self {
+            Baseline::Sa(cfg) => {
+                let cfg = SaConfig { seed, ..cfg.clone() };
+                simulated_annealing(circuit, &cfg)
+            }
+            Baseline::Ga(cfg) => {
+                let cfg = GaConfig { seed, ..cfg.clone() };
+                genetic_algorithm(circuit, &cfg)
+            }
+            Baseline::Pso(cfg) => {
+                let cfg = PsoConfig { seed, ..cfg.clone() };
+                particle_swarm(circuit, &cfg)
+            }
+            Baseline::RlSa(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.warmup.seed = seed;
+                cfg.refinement.seed = seed.wrapping_add(1);
+                rl_sa(circuit, &cfg)
+            }
+            Baseline::SpRl(cfg) => {
+                let cfg = SpRlConfig { seed, ..cfg.clone() };
+                sequence_pair_rl(circuit, &cfg)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+
+    #[test]
+    fn every_baseline_runs_on_a_small_circuit() {
+        let circuit = generators::ota3();
+        for baseline in Baseline::all_small() {
+            let result = baseline.run(&circuit, 5);
+            assert_eq!(
+                result.floorplan.num_placed(),
+                circuit.num_blocks(),
+                "{} left blocks unplaced",
+                baseline.name()
+            );
+            assert!(result.reward.is_finite(), "{}", baseline.name());
+        }
+    }
+
+    #[test]
+    fn names_match_table_one_columns() {
+        let names: Vec<&str> = Baseline::all_small().iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["SA", "GA", "PSO", "RL-SA", "RL (SP)"]);
+    }
+
+    #[test]
+    fn different_seeds_generally_differ() {
+        let circuit = generators::ota5();
+        let b = Baseline::Sa(SaConfig::small());
+        let a = b.run(&circuit, 1);
+        let c = b.run(&circuit, 2);
+        // Not a strict requirement, but identical rewards for different seeds
+        // on a 5-block circuit would indicate the seed is ignored.
+        assert!(
+            (a.reward - c.reward).abs() > 1e-12 || a.evaluations == c.evaluations
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! RL-SA hybrid baseline ("RL-SA [13]" column of Table I).
+//!
+//! The predecessor work [13] combines a learned proposal policy with a short
+//! simulated-annealing refinement: the policy quickly produces a decent
+//! sequence pair, SA then polishes it. Runtimes are close to plain SA (the
+//! policy warm-up is short), which matches the 1–2.5 s range the paper
+//! reports for this column.
+
+use std::time::Instant;
+
+use afp_circuit::Circuit;
+
+use crate::common::{BaselineResult, Problem};
+use crate::sa::{simulated_annealing_on, SaConfig};
+use crate::sp_rl::{sequence_pair_rl_on, SpRlConfig};
+
+/// Configuration of the RL-SA hybrid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlSaConfig {
+    /// Configuration of the short policy warm-up stage.
+    pub warmup: SpRlConfig,
+    /// Configuration of the SA refinement stage.
+    pub refinement: SaConfig,
+}
+
+impl RlSaConfig {
+    /// A configuration small enough for unit tests.
+    pub fn small() -> Self {
+        RlSaConfig {
+            warmup: SpRlConfig {
+                episodes: 6,
+                moves_per_episode: 6,
+                ..SpRlConfig::small()
+            },
+            refinement: SaConfig {
+                iterations: 200,
+                ..SaConfig::small()
+            },
+        }
+    }
+
+    /// Configuration used for the Table I reproduction.
+    pub fn table1() -> Self {
+        RlSaConfig {
+            warmup: SpRlConfig {
+                episodes: 30,
+                moves_per_episode: 20,
+                ..SpRlConfig::table1()
+            },
+            refinement: SaConfig::table1(),
+        }
+    }
+}
+
+impl Default for RlSaConfig {
+    fn default() -> Self {
+        RlSaConfig::small()
+    }
+}
+
+/// Runs the RL-SA hybrid on a circuit.
+pub fn rl_sa(circuit: &Circuit, config: &RlSaConfig) -> BaselineResult {
+    let problem = Problem::new(circuit);
+    let started = Instant::now();
+    let (warmup_result, warm_candidate) = sequence_pair_rl_on(&problem, &config.warmup);
+    let refined = simulated_annealing_on(&problem, &config.refinement, Some(warm_candidate));
+    let evaluations = warmup_result.evaluations + refined.evaluations;
+    // Keep the better of the two stages (SA should rarely lose, but the warm
+    // start is never discarded if refinement regresses).
+    let best = if refined.reward >= warmup_result.reward {
+        refined
+    } else {
+        warmup_result
+    };
+    BaselineResult {
+        algorithm: "RL-SA".to_string(),
+        runtime_s: started.elapsed().as_secs_f64(),
+        evaluations,
+        ..best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+    use crate::sa::simulated_annealing;
+
+    #[test]
+    fn rl_sa_runs_and_places_everything() {
+        let circuit = generators::ota5();
+        let result = rl_sa(&circuit, &RlSaConfig::small());
+        assert_eq!(result.floorplan.num_placed(), circuit.num_blocks());
+        assert_eq!(result.algorithm, "RL-SA");
+        assert!(result.reward.is_finite());
+    }
+
+    #[test]
+    fn rl_sa_is_deterministic_per_seed() {
+        let circuit = generators::ota3();
+        let a = rl_sa(&circuit, &RlSaConfig::small());
+        let b = rl_sa(&circuit, &RlSaConfig::small());
+        assert_eq!(a.reward, b.reward);
+    }
+
+    #[test]
+    fn hybrid_is_competitive_with_plain_sa_at_equal_budget() {
+        let circuit = generators::ota5();
+        let hybrid = rl_sa(&circuit, &RlSaConfig::small());
+        let plain = simulated_annealing(
+            &circuit,
+            &SaConfig {
+                iterations: 200,
+                ..SaConfig::small()
+            },
+        );
+        // The warm start must not make things catastrophically worse.
+        assert!(hybrid.reward >= plain.reward - 2.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Simulated annealing over sequence pairs — the workhorse baseline of analog
+//! floorplanning (and the optimizer used by ALIGN [28], which the paper cites
+//! as the state-of-the-art automatic layout generator it compares against).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use afp_circuit::Circuit;
+
+use crate::common::{BaselineResult, Candidate, Problem};
+
+/// Simulated-annealing configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaConfig {
+    /// Total number of proposed moves.
+    pub iterations: usize,
+    /// Initial temperature (in cost units).
+    pub initial_temperature: f64,
+    /// Multiplicative cooling factor applied every `moves_per_temperature`.
+    pub cooling: f64,
+    /// Number of moves between temperature updates.
+    pub moves_per_temperature: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SaConfig {
+    /// A configuration small enough for unit tests.
+    pub fn small() -> Self {
+        SaConfig {
+            iterations: 400,
+            initial_temperature: 1.0,
+            cooling: 0.95,
+            moves_per_temperature: 20,
+            seed: 0,
+        }
+    }
+
+    /// The configuration used by the Table I reproduction: enough moves for
+    /// circuits up to 19 blocks while keeping SA runtimes in the ~1 s range
+    /// the paper reports.
+    pub fn table1() -> Self {
+        SaConfig {
+            iterations: 4_000,
+            initial_temperature: 2.0,
+            cooling: 0.97,
+            moves_per_temperature: 50,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for SaConfig {
+    fn default() -> Self {
+        SaConfig::small()
+    }
+}
+
+/// Runs simulated annealing on a circuit and returns the best floorplan found.
+pub fn simulated_annealing(circuit: &Circuit, config: &SaConfig) -> BaselineResult {
+    let problem = Problem::new(circuit);
+    simulated_annealing_on(&problem, config, None)
+}
+
+/// Runs simulated annealing on an existing problem, optionally starting from a
+/// provided candidate (used by the RL-SA hybrid baseline).
+pub fn simulated_annealing_on(
+    problem: &Problem,
+    config: &SaConfig,
+    initial: Option<Candidate>,
+) -> BaselineResult {
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut current =
+        initial.unwrap_or_else(|| Candidate::random(problem.num_blocks(), &mut rng));
+    let mut current_cost = problem.cost(&current);
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+    let mut temperature = config.initial_temperature;
+    let mut evaluations = 1;
+
+    for step in 0..config.iterations {
+        let mut proposal = current.clone();
+        proposal.perturb(&mut rng);
+        let proposal_cost = problem.cost(&proposal);
+        evaluations += 1;
+        let delta = proposal_cost - current_cost;
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
+        if accept {
+            current = proposal;
+            current_cost = proposal_cost;
+            if current_cost < best_cost {
+                best = current.clone();
+                best_cost = current_cost;
+            }
+        }
+        if (step + 1) % config.moves_per_temperature == 0 {
+            temperature *= config.cooling;
+        }
+    }
+    BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+
+    #[test]
+    fn sa_improves_over_random_start() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let mut rng = StdRng::seed_from_u64(7);
+        let random = Candidate::random(problem.num_blocks(), &mut rng);
+        let random_cost = problem.cost(&random);
+        let result = simulated_annealing(&circuit, &SaConfig::small());
+        assert!(
+            -result.reward <= random_cost,
+            "SA ({}) should not be worse than a random candidate ({})",
+            -result.reward,
+            random_cost
+        );
+        assert_eq!(result.floorplan.num_placed(), circuit.num_blocks());
+        assert!(result.runtime_s >= 0.0);
+        assert_eq!(result.algorithm, "SA");
+    }
+
+    #[test]
+    fn sa_is_deterministic_for_a_seed() {
+        let circuit = generators::ota3();
+        let cfg = SaConfig {
+            iterations: 150,
+            ..SaConfig::small()
+        };
+        let a = simulated_annealing(&circuit, &cfg);
+        let b = simulated_annealing(&circuit, &cfg);
+        assert_eq!(a.reward, b.reward);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn warm_start_is_respected() {
+        let circuit = generators::ota3();
+        let problem = Problem::new(&circuit);
+        let warm = Candidate::identity(problem.num_blocks(), &problem.shape_sets);
+        let cfg = SaConfig {
+            iterations: 10,
+            ..SaConfig::small()
+        };
+        let result = simulated_annealing_on(&problem, &cfg, Some(warm.clone()));
+        // With almost no iterations the result cannot be worse than the warm start.
+        assert!(-result.reward <= problem.cost(&warm) + 1e-9);
+    }
+}

@@ -1,0 +1,382 @@
+//! The floorplanning MDP environment (paper §IV-A).
+//!
+//! An episode places the blocks of one circuit in decreasing-area order. At
+//! every step the agent observes the six grid masks plus the identity of the
+//! current block; it selects a shape and a lower-left cell; the environment
+//! returns the intermediate reward of Eq. 4 and, on the last step, adds the
+//! terminal reward of Eq. 5. Selecting an invalid action (or reaching a state
+//! where no action is admissible) ends the episode with the −50 penalty.
+
+use afp_circuit::{shapes::shape_sets, BlockId, Circuit, CircuitGraph, ShapeSet};
+use afp_layout::{
+    constraints, masks::StateMasks, metrics, Canvas, Floorplan, FloorplanMetrics, RewardWeights,
+};
+
+use crate::action::{Action, ACTION_SPACE};
+
+/// Why an episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The episode is still running.
+    Running,
+    /// All blocks were placed successfully.
+    Completed,
+    /// The agent selected an inadmissible action.
+    InvalidAction,
+    /// No admissible action existed for the current block.
+    DeadEnd,
+}
+
+/// The observation handed to the agent at each step.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The six grid masks of the current state.
+    pub masks: StateMasks,
+    /// The block to be placed next.
+    pub current_block: BlockId,
+    /// Index of that block in the circuit graph (for the node embedding).
+    pub node_index: usize,
+    /// Flattened action mask over the full `3 × 32 × 32` action space:
+    /// `1.0` for admissible actions, `0.0` otherwise.
+    pub action_mask: Vec<f32>,
+}
+
+impl Observation {
+    /// Number of admissible actions.
+    pub fn num_valid_actions(&self) -> usize {
+        self.action_mask.iter().filter(|&&v| v > 0.0).count()
+    }
+}
+
+/// Result of one environment step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// The reward collected at this step (intermediate + terminal if last).
+    pub reward: f64,
+    /// Whether the episode has ended.
+    pub done: bool,
+    /// How the episode ended (or [`Termination::Running`]).
+    pub termination: Termination,
+}
+
+/// The floorplanning environment for one circuit.
+#[derive(Debug, Clone)]
+pub struct FloorplanEnv {
+    circuit: Circuit,
+    graph: CircuitGraph,
+    shape_sets: Vec<ShapeSet>,
+    canvas: Canvas,
+    floorplan: Floorplan,
+    order: Vec<BlockId>,
+    step_index: usize,
+    hpwl_min: f64,
+    weights: RewardWeights,
+    previous_metrics: FloorplanMetrics,
+    termination: Termination,
+    accumulated_reward: f64,
+}
+
+impl FloorplanEnv {
+    /// Creates an environment for a circuit.
+    pub fn new(circuit: Circuit) -> Self {
+        let graph = CircuitGraph::from_circuit(&circuit);
+        let shape_sets = shape_sets(&circuit);
+        let canvas = Canvas::for_circuit(&circuit);
+        let order = circuit.blocks_by_decreasing_area();
+        let hpwl_min = metrics::hpwl_lower_bound(&circuit);
+        FloorplanEnv {
+            floorplan: Floorplan::new(canvas),
+            previous_metrics: FloorplanMetrics::empty(),
+            circuit,
+            graph,
+            shape_sets,
+            canvas,
+            order,
+            step_index: 0,
+            hpwl_min,
+            weights: RewardWeights::default(),
+            termination: Termination::Running,
+            accumulated_reward: 0.0,
+        }
+    }
+
+    /// The circuit being floorplanned.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The relational graph of the circuit (input to the R-GCN encoder).
+    pub fn graph(&self) -> &CircuitGraph {
+        &self.graph
+    }
+
+    /// The current (possibly partial) floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// Episode length (number of blocks to place).
+    pub fn episode_length(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Number of blocks placed so far.
+    pub fn steps_taken(&self) -> usize {
+        self.step_index
+    }
+
+    /// Whether the episode has ended.
+    pub fn is_done(&self) -> bool {
+        self.termination != Termination::Running
+    }
+
+    /// Total reward accumulated over the episode so far.
+    pub fn accumulated_reward(&self) -> f64 {
+        self.accumulated_reward
+    }
+
+    /// How the episode ended.
+    pub fn termination(&self) -> Termination {
+        self.termination
+    }
+
+    /// The `HPWL_min` normalization used by the rewards.
+    pub fn hpwl_min(&self) -> f64 {
+        self.hpwl_min
+    }
+
+    /// Resets the environment to an empty floorplan and returns the first
+    /// observation (or `None` for a block-less circuit).
+    pub fn reset(&mut self) -> Option<Observation> {
+        self.floorplan = Floorplan::new(self.canvas);
+        self.step_index = 0;
+        self.previous_metrics = FloorplanMetrics::empty();
+        self.termination = Termination::Running;
+        self.accumulated_reward = 0.0;
+        self.observe()
+    }
+
+    /// Builds the observation for the current step, or `None` if the episode
+    /// has ended.
+    pub fn observe(&self) -> Option<Observation> {
+        if self.is_done() || self.step_index >= self.order.len() {
+            return None;
+        }
+        let block = self.order[self.step_index];
+        let shapes = &self.shape_sets[block.index()];
+        let masks = StateMasks::build(&self.circuit, &self.floorplan, block, shapes);
+        let mut action_mask = vec![0.0f32; ACTION_SPACE];
+        for (shape_index, positional) in masks.positional.iter().enumerate() {
+            let offset = shape_index * positional.len();
+            action_mask[offset..offset + positional.len()].copy_from_slice(positional);
+        }
+        Some(Observation {
+            masks,
+            current_block: block,
+            node_index: block.index(),
+            action_mask,
+        })
+    }
+
+    /// Applies an action for the current block.
+    ///
+    /// Invalid actions (masked-out cells, overlaps) terminate the episode with
+    /// the violation penalty, mirroring the paper's constraint handling.
+    pub fn step(&mut self, action: Action) -> StepOutcome {
+        if self.is_done() || self.step_index >= self.order.len() {
+            return StepOutcome {
+                reward: 0.0,
+                done: true,
+                termination: self.termination,
+            };
+        }
+        let block = self.order[self.step_index];
+        let shapes = &self.shape_sets[block.index()];
+        let shape = shapes.shape(action.shape_index.min(afp_circuit::SHAPES_PER_BLOCK - 1));
+
+        // Check admissibility against the constraint-aware positional mask.
+        let positional =
+            afp_layout::masks::positional_mask(&self.circuit, &self.floorplan, block, &shape);
+        if positional[action.cell.index()] == 0.0
+            || self
+                .floorplan
+                .place(block, action.shape_index, shape, action.cell)
+                .is_err()
+        {
+            self.termination = Termination::InvalidAction;
+            self.accumulated_reward += self.weights.violation_penalty;
+            return StepOutcome {
+                reward: self.weights.violation_penalty,
+                done: true,
+                termination: self.termination,
+            };
+        }
+
+        self.step_index += 1;
+        let current_metrics = metrics::metrics(&self.circuit, &self.floorplan);
+        let mut reward =
+            metrics::intermediate_reward(&self.previous_metrics, &current_metrics, self.hpwl_min);
+        self.previous_metrics = current_metrics;
+
+        if self.step_index == self.order.len() {
+            // Episode complete: add the terminal reward of Eq. 5.
+            reward += metrics::episode_reward(
+                &self.circuit,
+                &self.floorplan,
+                self.hpwl_min,
+                &self.weights,
+            );
+            self.termination = Termination::Completed;
+            self.accumulated_reward += reward;
+            return StepOutcome {
+                reward,
+                done: true,
+                termination: self.termination,
+            };
+        }
+
+        // Detect dead ends for the next block (no admissible action at all).
+        if let Some(next_obs) = self.observe() {
+            if next_obs.num_valid_actions() == 0 {
+                self.termination = Termination::DeadEnd;
+                reward += self.weights.violation_penalty;
+                self.accumulated_reward += reward;
+                return StepOutcome {
+                    reward,
+                    done: true,
+                    termination: self.termination,
+                };
+            }
+        }
+
+        self.accumulated_reward += reward;
+        StepOutcome {
+            reward,
+            done: false,
+            termination: Termination::Running,
+        }
+    }
+
+    /// Final episode reward (Eq. 5) of the floorplan built so far — the metric
+    /// Table I reports. Returns the violation penalty if the episode did not
+    /// complete successfully.
+    pub fn final_episode_reward(&self) -> f64 {
+        metrics::episode_reward(&self.circuit, &self.floorplan, self.hpwl_min, &self.weights)
+    }
+
+    /// Number of constraint violations in the current floorplan.
+    pub fn violations(&self) -> usize {
+        constraints::count_violations(&self.circuit, &self.floorplan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+    use afp_layout::Cell;
+
+    /// Picks the first admissible action of an observation.
+    fn first_valid_action(obs: &Observation) -> Action {
+        let idx = obs
+            .action_mask
+            .iter()
+            .position(|&v| v > 0.0)
+            .expect("at least one valid action");
+        Action::from_index(idx)
+    }
+
+    #[test]
+    fn episode_walks_through_all_blocks() {
+        let mut env = FloorplanEnv::new(generators::ota5());
+        let mut obs = env.reset().unwrap();
+        let mut steps = 0;
+        loop {
+            let outcome = env.step(first_valid_action(&obs));
+            steps += 1;
+            if outcome.done {
+                assert_eq!(outcome.termination, Termination::Completed);
+                break;
+            }
+            obs = env.observe().unwrap();
+        }
+        assert_eq!(steps, 5);
+        assert_eq!(env.floorplan().num_placed(), 5);
+        assert!(env.final_episode_reward() > -50.0);
+    }
+
+    #[test]
+    fn invalid_action_terminates_with_penalty() {
+        let mut env = FloorplanEnv::new(generators::ota5());
+        let obs = env.reset().unwrap();
+        // Find a masked-out action.
+        let invalid = obs
+            .action_mask
+            .iter()
+            .position(|&v| v == 0.0)
+            .expect("some invalid action exists");
+        let outcome = env.step(Action::from_index(invalid));
+        assert!(outcome.done);
+        assert_eq!(outcome.termination, Termination::InvalidAction);
+        assert_eq!(outcome.reward, -50.0);
+    }
+
+    #[test]
+    fn observation_masks_have_expected_sizes() {
+        let mut env = FloorplanEnv::new(generators::ota8());
+        let obs = env.reset().unwrap();
+        assert_eq!(obs.action_mask.len(), ACTION_SPACE);
+        assert!(obs.num_valid_actions() > 0);
+        assert_eq!(obs.masks.to_tensor_data().len(), 6 * 32 * 32);
+        assert_eq!(env.episode_length(), 8);
+    }
+
+    #[test]
+    fn largest_block_is_placed_first() {
+        let circuit = generators::driver();
+        let largest = circuit.blocks_by_decreasing_area()[0];
+        let mut env = FloorplanEnv::new(circuit);
+        let obs = env.reset().unwrap();
+        assert_eq!(obs.current_block, largest);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut env = FloorplanEnv::new(generators::ota3());
+        let obs = env.reset().unwrap();
+        env.step(first_valid_action(&obs));
+        assert_eq!(env.steps_taken(), 1);
+        env.reset().unwrap();
+        assert_eq!(env.steps_taken(), 0);
+        assert_eq!(env.floorplan().num_placed(), 0);
+        assert!(!env.is_done());
+    }
+
+    #[test]
+    fn intermediate_rewards_are_bounded() {
+        let mut env = FloorplanEnv::new(generators::rs_latch());
+        let mut obs = env.reset().unwrap();
+        loop {
+            // Always use a central-ish valid cell to avoid pathological spread.
+            let outcome = env.step(first_valid_action(&obs));
+            if !outcome.done {
+                assert!(outcome.reward.abs() < 50.0);
+                obs = env.observe().unwrap();
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn step_after_done_is_a_noop() {
+        let mut env = FloorplanEnv::new(generators::ota3());
+        let obs = env.reset().unwrap();
+        let bad = obs.action_mask.iter().position(|&v| v == 0.0).unwrap();
+        env.step(Action::from_index(bad));
+        assert!(env.is_done());
+        let again = env.step(Action::new(0, Cell::new(0, 0)));
+        assert!(again.done);
+        assert_eq!(again.reward, 0.0);
+    }
+}

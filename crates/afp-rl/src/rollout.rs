@@ -1,0 +1,184 @@
+//! Rollout storage and generalized advantage estimation.
+
+use afp_tensor::Tensor;
+
+/// One environment transition collected during a rollout.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// The `[6, 32, 32]` mask tensor observed.
+    pub masks: Tensor,
+    /// Graph embedding of the circuit.
+    pub graph_embedding: Tensor,
+    /// Node embedding of the block that was placed.
+    pub node_embedding: Tensor,
+    /// Flat action mask (1 = admissible).
+    pub action_mask: Vec<f32>,
+    /// The flat action index taken.
+    pub action: usize,
+    /// Log-probability of the action under the behaviour policy.
+    pub log_prob: f32,
+    /// Value estimate of the behaviour policy.
+    pub value: f32,
+    /// Reward received after the action.
+    pub reward: f32,
+    /// Whether the episode ended after this transition.
+    pub done: bool,
+}
+
+/// A buffer of transitions plus the discounting hyper-parameters needed to
+/// turn them into advantages and returns.
+#[derive(Debug)]
+pub struct RolloutBuffer {
+    transitions: Vec<Transition>,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE smoothing factor λ.
+    pub gae_lambda: f32,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new(gamma: f32, gae_lambda: f32) -> Self {
+        RolloutBuffer {
+            transitions: Vec::new(),
+            gamma,
+            gae_lambda,
+        }
+    }
+
+    /// Appends a transition.
+    pub fn push(&mut self, transition: Transition) {
+        self.transitions.push(transition);
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Clears the buffer for the next rollout.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+    }
+
+    /// Read access to the stored transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Computes per-transition GAE advantages and discounted returns.
+    ///
+    /// Episodes are delimited by the `done` flag; the value after a terminal
+    /// transition is treated as zero (every stored episode is complete, as the
+    /// floorplanning MDP has a fixed horizon of one step per block).
+    pub fn advantages_and_returns(&self) -> (Vec<f32>, Vec<f32>) {
+        let n = self.transitions.len();
+        let mut advantages = vec![0.0f32; n];
+        let mut returns = vec![0.0f32; n];
+        let mut next_value = 0.0f32;
+        let mut next_advantage = 0.0f32;
+        for i in (0..n).rev() {
+            let t = &self.transitions[i];
+            if t.done {
+                next_value = 0.0;
+                next_advantage = 0.0;
+            }
+            let delta = t.reward + self.gamma * next_value - t.value;
+            let adv = delta + self.gamma * self.gae_lambda * next_advantage;
+            advantages[i] = adv;
+            returns[i] = adv + t.value;
+            next_value = t.value;
+            next_advantage = adv;
+        }
+        (advantages, returns)
+    }
+
+    /// Mean and standard deviation of the advantages (used to normalize them
+    /// before the PPO update, as Stable-Baselines3 does).
+    pub fn advantage_stats(advantages: &[f32]) -> (f32, f32) {
+        if advantages.is_empty() {
+            return (0.0, 1.0);
+        }
+        let mean = advantages.iter().sum::<f32>() / advantages.len() as f32;
+        let var = advantages
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f32>()
+            / advantages.len() as f32;
+        (mean, var.sqrt().max(1e-6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transition(reward: f32, value: f32, done: bool) -> Transition {
+        Transition {
+            masks: Tensor::zeros(&[1]),
+            graph_embedding: Tensor::zeros(&[1]),
+            node_embedding: Tensor::zeros(&[1]),
+            action_mask: vec![1.0],
+            action: 0,
+            log_prob: 0.0,
+            value,
+            reward,
+            done,
+        }
+    }
+
+    #[test]
+    fn single_step_episode_advantage_is_td_error() {
+        let mut buf = RolloutBuffer::new(0.99, 0.95);
+        buf.push(transition(2.0, 0.5, true));
+        let (adv, ret) = buf.advantages_and_returns();
+        assert!((adv[0] - 1.5).abs() < 1e-6);
+        assert!((ret[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_discounts_across_steps() {
+        let mut buf = RolloutBuffer::new(1.0, 1.0);
+        // Two-step episode with zero value estimates: returns are plain sums.
+        buf.push(transition(1.0, 0.0, false));
+        buf.push(transition(2.0, 0.0, true));
+        let (adv, ret) = buf.advantages_and_returns();
+        assert!((ret[0] - 3.0).abs() < 1e-6);
+        assert!((ret[1] - 2.0).abs() < 1e-6);
+        assert!((adv[0] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn episodes_are_isolated_by_done_flags() {
+        let mut buf = RolloutBuffer::new(0.9, 0.9);
+        buf.push(transition(1.0, 0.0, true));
+        buf.push(transition(5.0, 0.0, true));
+        let (_, ret) = buf.advantages_and_returns();
+        // The second episode's reward must not bleed into the first.
+        assert!((ret[0] - 1.0).abs() < 1e-6);
+        assert!((ret[1] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn advantage_stats_are_sane() {
+        let (mean, std) = RolloutBuffer::advantage_stats(&[1.0, 3.0]);
+        assert!((mean - 2.0).abs() < 1e-6);
+        assert!((std - 1.0).abs() < 1e-6);
+        let (m0, s0) = RolloutBuffer::advantage_stats(&[]);
+        assert_eq!((m0, s0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn clear_resets_buffer() {
+        let mut buf = RolloutBuffer::new(0.99, 0.95);
+        buf.push(transition(1.0, 0.0, true));
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,232 @@
+//! Conduits and routing channels.
+//!
+//! The global routing tree of each net is segmented into *conduits*: directed
+//! runs on a specific metal layer that tell the procedural generator's
+//! detailed router where to realize the connection (paper §IV-E: "The global
+//! routing tree is segmented into conduits, detailing connections and layers,
+//! guiding ANAGEN's router"). Channels are the free corridors between placed
+//! blocks that the conduits occupy.
+
+use afp_circuit::NetId;
+use afp_layout::{Floorplan, Rect};
+
+use crate::steiner::{GlobalRouting, Segment, SteinerTree};
+
+/// Metal layer assigned to a conduit (simple HV layer scheme).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layer {
+    /// Horizontal routing layer (e.g. Metal-2).
+    Horizontal,
+    /// Vertical routing layer (e.g. Metal-3).
+    Vertical,
+}
+
+/// One conduit: a maximal straight run of a net on one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conduit {
+    /// The net the conduit belongs to.
+    pub net: NetId,
+    /// Geometric segment in µm.
+    pub segment: Segment,
+    /// Assigned layer.
+    pub layer: Layer,
+    /// Wire width in µm.
+    pub width_um: f64,
+}
+
+impl Conduit {
+    /// Length of the conduit.
+    pub fn length(&self) -> f64 {
+        self.segment.length()
+    }
+
+    /// The rectangle covered by the conduit (segment inflated by half the wire
+    /// width), used by spacing checks.
+    pub fn footprint(&self) -> Rect {
+        let half = self.width_um / 2.0;
+        Rect::from_corners(
+            self.segment.from.0.min(self.segment.to.0) - half,
+            self.segment.from.1.min(self.segment.to.1) - half,
+            self.segment.from.0.max(self.segment.to.0) + half,
+            self.segment.from.1.max(self.segment.to.1) + half,
+        )
+    }
+}
+
+/// Segments one net tree into conduits with an HV layer assignment.
+pub fn conduits_for_tree(tree: &SteinerTree, wire_width_um: f64) -> Vec<Conduit> {
+    tree.segments
+        .iter()
+        .map(|&segment| Conduit {
+            net: tree.net,
+            segment,
+            layer: if segment.is_horizontal() {
+                Layer::Horizontal
+            } else {
+                Layer::Vertical
+            },
+            width_um: wire_width_um,
+        })
+        .collect()
+}
+
+/// Segments a whole global routing into conduits.
+pub fn conduits_for_routing(routing: &GlobalRouting, wire_width_um: f64) -> Vec<Conduit> {
+    routing
+        .trees
+        .iter()
+        .flat_map(|t| conduits_for_tree(t, wire_width_um))
+        .collect()
+}
+
+/// A routing channel: a free corridor between two adjacent placed blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Channel {
+    /// The corridor rectangle in µm.
+    pub region: Rect,
+    /// Whether the corridor runs horizontally (between vertically stacked
+    /// blocks) or vertically.
+    pub horizontal: bool,
+    /// Number of conduits passing through the channel.
+    pub occupancy: usize,
+}
+
+impl Channel {
+    /// Available routing tracks in the channel for the given pitch.
+    pub fn capacity(&self, pitch_um: f64) -> usize {
+        let width = if self.horizontal {
+            self.region.height()
+        } else {
+            self.region.width()
+        };
+        (width / pitch_um.max(1e-9)).floor() as usize
+    }
+
+    /// Whether more conduits pass through the channel than it has tracks.
+    pub fn is_congested(&self, pitch_um: f64) -> bool {
+        self.occupancy > self.capacity(pitch_um)
+    }
+}
+
+/// Extracts the vertical and horizontal channels between adjacent blocks of a
+/// floorplan and counts how many conduits run through each.
+pub fn extract_channels(floorplan: &Floorplan, conduits: &[Conduit]) -> Vec<Channel> {
+    let mut channels = Vec::new();
+    let placed = floorplan.placed();
+    for (i, a) in placed.iter().enumerate() {
+        for b in placed.iter().skip(i + 1) {
+            // Horizontal gap (blocks side by side with overlapping y ranges).
+            let y_overlap = a.rect.y1.min(b.rect.y1) - a.rect.y0.max(b.rect.y0);
+            let x_gap_lo = a.rect.x1.min(b.rect.x1);
+            let x_gap_hi = a.rect.x0.max(b.rect.x0);
+            if y_overlap > 0.0 && x_gap_hi > x_gap_lo {
+                channels.push(Channel {
+                    region: Rect::from_corners(
+                        x_gap_lo,
+                        a.rect.y0.max(b.rect.y0),
+                        x_gap_hi,
+                        a.rect.y1.min(b.rect.y1),
+                    ),
+                    horizontal: false,
+                    occupancy: 0,
+                });
+            }
+            // Vertical gap (blocks stacked with overlapping x ranges).
+            let x_overlap = a.rect.x1.min(b.rect.x1) - a.rect.x0.max(b.rect.x0);
+            let y_gap_lo = a.rect.y1.min(b.rect.y1);
+            let y_gap_hi = a.rect.y0.max(b.rect.y0);
+            if x_overlap > 0.0 && y_gap_hi > y_gap_lo {
+                channels.push(Channel {
+                    region: Rect::from_corners(
+                        a.rect.x0.max(b.rect.x0),
+                        y_gap_lo,
+                        a.rect.x1.min(b.rect.x1),
+                        y_gap_hi,
+                    ),
+                    horizontal: true,
+                    occupancy: 0,
+                });
+            }
+        }
+    }
+    // Count conduit occupancy.
+    for channel in &mut channels {
+        channel.occupancy = conduits
+            .iter()
+            .filter(|c| c.footprint().overlaps(&channel.region))
+            .count();
+    }
+    channels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::{BlockId, Shape};
+    use afp_layout::{Canvas, Cell, Floorplan};
+
+    fn tree() -> SteinerTree {
+        SteinerTree {
+            net: NetId(0),
+            terminals: vec![(0.0, 0.0), (4.0, 3.0)],
+            segments: vec![
+                Segment { from: (0.0, 0.0), to: (4.0, 0.0) },
+                Segment { from: (4.0, 0.0), to: (4.0, 3.0) },
+            ],
+            complete: true,
+        }
+    }
+
+    #[test]
+    fn conduits_get_hv_layers() {
+        let conduits = conduits_for_tree(&tree(), 0.4);
+        assert_eq!(conduits.len(), 2);
+        assert_eq!(conduits[0].layer, Layer::Horizontal);
+        assert_eq!(conduits[1].layer, Layer::Vertical);
+        assert!((conduits[0].length() - 4.0).abs() < 1e-9);
+        assert!(conduits[0].footprint().height() - 0.4 < 1e-9);
+    }
+
+    #[test]
+    fn channels_between_adjacent_blocks() {
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(6.0, 6.0), Cell::new(0, 0)).unwrap();
+        fp.place(BlockId(1), 0, Shape::new(6.0, 6.0), Cell::new(8, 0)).unwrap();
+        let channels = extract_channels(&fp, &[]);
+        assert_eq!(channels.len(), 1);
+        assert!(!channels[0].horizontal);
+        assert!((channels[0].region.width() - 2.0).abs() < 1e-9);
+        assert_eq!(channels[0].capacity(0.5), 4);
+    }
+
+    #[test]
+    fn channel_congestion_detected() {
+        let channel = Channel {
+            region: Rect::from_origin_size(0.0, 0.0, 1.0, 6.0),
+            horizontal: false,
+            occupancy: 5,
+        };
+        assert!(channel.is_congested(0.5));
+        let relaxed = Channel {
+            occupancy: 1,
+            ..channel.clone()
+        };
+        assert!(!relaxed.is_congested(0.5));
+    }
+
+    #[test]
+    fn occupancy_counts_crossing_conduits() {
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(6.0, 6.0), Cell::new(0, 0)).unwrap();
+        fp.place(BlockId(1), 0, Shape::new(6.0, 6.0), Cell::new(8, 0)).unwrap();
+        // A horizontal conduit crossing the gap between the two blocks.
+        let conduit = Conduit {
+            net: NetId(0),
+            segment: Segment { from: (5.0, 3.0), to: (9.0, 3.0) },
+            layer: Layer::Horizontal,
+            width_um: 0.4,
+        };
+        let channels = extract_channels(&fp, &[conduit]);
+        assert_eq!(channels[0].occupancy, 1);
+    }
+}

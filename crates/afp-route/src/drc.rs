@@ -1,0 +1,140 @@
+//! Lightweight design-rule checks for completed layouts.
+//!
+//! The procedural generator's output is judged on being "DRC and LVS clean"
+//! (paper §V-C). This module provides the geometric subset of those checks
+//! that the substitute flow can verify: block-to-block spacing, wire-to-block
+//! spacing on the same layer, and wire-to-wire spacing between different nets.
+
+use afp_layout::{Floorplan, Rect};
+
+use crate::conduit::Conduit;
+
+/// Spacing rules, in µm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignRules {
+    /// Minimum spacing between two placed blocks.
+    pub block_spacing_um: f64,
+    /// Minimum spacing between two wires of different nets on the same layer.
+    pub wire_spacing_um: f64,
+}
+
+impl Default for DesignRules {
+    fn default() -> Self {
+        DesignRules {
+            block_spacing_um: 0.0,
+            wire_spacing_um: 0.2,
+        }
+    }
+}
+
+/// One detected violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DrcViolation {
+    /// Two blocks are closer than the minimum block spacing (or overlap).
+    BlockSpacing {
+        /// Index of the first placed block.
+        first: usize,
+        /// Index of the second placed block.
+        second: usize,
+    },
+    /// Two wires of different nets on the same layer are too close.
+    WireSpacing {
+        /// Index of the first conduit.
+        first: usize,
+        /// Index of the second conduit.
+        second: usize,
+    },
+}
+
+/// Runs the design-rule checks and returns every violation found.
+pub fn check(floorplan: &Floorplan, conduits: &[Conduit], rules: &DesignRules) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    let placed = floorplan.placed();
+    for i in 0..placed.len() {
+        for j in (i + 1)..placed.len() {
+            let a = placed[i].rect.inflated(rules.block_spacing_um / 2.0);
+            let b = placed[j].rect.inflated(rules.block_spacing_um / 2.0);
+            if a.overlaps(&b) {
+                violations.push(DrcViolation::BlockSpacing { first: i, second: j });
+            }
+        }
+    }
+    for i in 0..conduits.len() {
+        for j in (i + 1)..conduits.len() {
+            let (a, b) = (&conduits[i], &conduits[j]);
+            if a.net == b.net || a.layer != b.layer {
+                continue;
+            }
+            let fa: Rect = a.footprint().inflated(rules.wire_spacing_um / 2.0);
+            let fb: Rect = b.footprint().inflated(rules.wire_spacing_um / 2.0);
+            if fa.overlaps(&fb) {
+                violations.push(DrcViolation::WireSpacing { first: i, second: j });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conduit::Layer;
+    use crate::steiner::Segment;
+    use afp_circuit::{BlockId, NetId, Shape};
+    use afp_layout::{Canvas, Cell};
+
+    fn conduit(net: usize, y: f64, layer: Layer) -> Conduit {
+        Conduit {
+            net: NetId(net),
+            segment: Segment {
+                from: (0.0, y),
+                to: (5.0, y),
+            },
+            layer,
+            width_um: 0.2,
+        }
+    }
+
+    #[test]
+    fn separated_blocks_pass() {
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(0, 0)).unwrap();
+        fp.place(BlockId(1), 0, Shape::new(4.0, 4.0), Cell::new(6, 0)).unwrap();
+        assert!(check(&fp, &[], &DesignRules::default()).is_empty());
+    }
+
+    #[test]
+    fn touching_blocks_violate_spacing_rule() {
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(4.0, 4.0), Cell::new(0, 0)).unwrap();
+        fp.place(BlockId(1), 0, Shape::new(4.0, 4.0), Cell::new(4, 0)).unwrap();
+        let rules = DesignRules {
+            block_spacing_um: 0.5,
+            ..DesignRules::default()
+        };
+        let violations = check(&fp, &[], &rules);
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], DrcViolation::BlockSpacing { .. }));
+    }
+
+    #[test]
+    fn close_wires_of_different_nets_violate() {
+        let fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        let conduits = [
+            conduit(0, 1.0, Layer::Horizontal),
+            conduit(1, 1.1, Layer::Horizontal),
+        ];
+        let violations = check(&fp, &conduits, &DesignRules::default());
+        assert_eq!(violations.len(), 1);
+        assert!(matches!(violations[0], DrcViolation::WireSpacing { .. }));
+    }
+
+    #[test]
+    fn same_net_or_different_layer_wires_are_exempt() {
+        let fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        let same_net = [conduit(0, 1.0, Layer::Horizontal), conduit(0, 1.1, Layer::Horizontal)];
+        assert!(check(&fp, &same_net, &DesignRules::default()).is_empty());
+        let cross_layer = [conduit(0, 1.0, Layer::Horizontal), conduit(1, 1.1, Layer::Vertical)];
+        assert!(check(&fp, &cross_layer, &DesignRules::default()).is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # afp-route — global routing and procedural layout completion
+//!
+//! The back half of the paper's pipeline (Fig. 1 and §IV-E):
+//!
+//! * [`maze`] — an obstacle-aware routing grid with BFS shortest paths,
+//! * [`steiner`] — obstacle-avoiding rectilinear Steiner trees (OARSMT), one
+//!   per net, plus whole-circuit [`global_route`],
+//! * [`conduit`] — segmentation of the trees into layer-assigned conduits and
+//!   extraction of the routing channels between blocks,
+//! * [`drc`] — geometric spacing checks,
+//! * [`procedural`] — the ANAGEN-substitute layout completion flow producing
+//!   the area / dead-space / generation-time numbers of Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use afp_circuit::{generators, Shape, BlockId};
+//! use afp_layout::{Canvas, Cell, Floorplan};
+//! use afp_route::global_route;
+//!
+//! let circuit = generators::ota3();
+//! let mut floorplan = Floorplan::new(Canvas::for_circuit(&circuit));
+//! floorplan.place(BlockId(0), 0, Shape::new(8.0, 7.0), Cell::new(0, 0)).unwrap();
+//! floorplan.place(BlockId(1), 0, Shape::new(7.0, 7.0), Cell::new(10, 0)).unwrap();
+//! floorplan.place(BlockId(2), 0, Shape::new(6.0, 5.0), Cell::new(20, 0)).unwrap();
+//! let routing = global_route(&circuit, &floorplan, 48);
+//! assert!(routing.total_wirelength() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod conduit;
+pub mod drc;
+pub mod maze;
+pub mod procedural;
+pub mod steiner;
+
+pub use conduit::{conduits_for_routing, conduits_for_tree, extract_channels, Channel, Conduit, Layer};
+pub use drc::{check, DesignRules, DrcViolation};
+pub use maze::{RouteCell, RoutingGrid};
+pub use procedural::{complete_layout, CompletedLayout, LayoutReport, ProceduralConfig};
+pub use steiner::{build_tree, global_route, GlobalRouting, Segment, SteinerTree};

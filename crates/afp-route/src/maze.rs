@@ -1,0 +1,304 @@
+//! A uniform routing grid with obstacle-aware shortest paths.
+//!
+//! The grid is the substrate of the OARSMT construction: placed blocks become
+//! obstacles (with a small clearance so wires can hug block edges), and
+//! breadth-first search finds shortest rectilinear paths between cells.
+
+use std::collections::VecDeque;
+
+use afp_layout::{Floorplan, Rect};
+
+/// A cell of the routing grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteCell {
+    /// Column index.
+    pub x: usize,
+    /// Row index.
+    pub y: usize,
+}
+
+/// A uniform routing grid over the floorplan region.
+#[derive(Debug, Clone)]
+pub struct RoutingGrid {
+    columns: usize,
+    rows: usize,
+    origin: (f64, f64),
+    cell_size: f64,
+    blocked: Vec<bool>,
+}
+
+impl RoutingGrid {
+    /// Builds a routing grid covering the floorplan bounding box (plus a
+    /// one-cell halo) with approximately `resolution` cells along the longer
+    /// side. Placed blocks are marked as obstacles after being shrunk by
+    /// `clearance_um` on every side so that routes may run along block edges.
+    pub fn from_floorplan(floorplan: &Floorplan, resolution: usize, clearance_um: f64) -> Self {
+        let bb = floorplan
+            .bounding_box()
+            .unwrap_or(Rect::from_origin_size(0.0, 0.0, 1.0, 1.0));
+        let span = bb.width().max(bb.height()).max(1e-6);
+        let cell_size = span / resolution.max(4) as f64;
+        let origin = (bb.x0 - cell_size, bb.y0 - cell_size);
+        let columns = (bb.width() / cell_size).ceil() as usize + 3;
+        let rows = (bb.height() / cell_size).ceil() as usize + 3;
+        let mut grid = RoutingGrid {
+            columns,
+            rows,
+            origin,
+            cell_size,
+            blocked: vec![false; columns * rows],
+        };
+        for placed in floorplan.placed() {
+            let shrunk = placed.rect.inflated(-clearance_um.min(placed.rect.width() / 4.0));
+            grid.block_rect(&shrunk);
+        }
+        grid
+    }
+
+    /// Builds an empty grid with explicit geometry (used in tests).
+    pub fn new(columns: usize, rows: usize, origin: (f64, f64), cell_size: f64) -> Self {
+        RoutingGrid {
+            columns,
+            rows,
+            origin,
+            cell_size,
+            blocked: vec![false; columns * rows],
+        }
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.columns
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Edge length of one routing cell in µm.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    fn index(&self, cell: RouteCell) -> usize {
+        cell.y * self.columns + cell.x
+    }
+
+    /// Marks all cells intersecting a rectangle as blocked.
+    pub fn block_rect(&mut self, rect: &Rect) {
+        for y in 0..self.rows {
+            for x in 0..self.columns {
+                let (cx, cy) = self.cell_center(RouteCell { x, y });
+                if rect.contains_point(cx, cy) {
+                    let idx = y * self.columns + x;
+                    self.blocked[idx] = true;
+                }
+            }
+        }
+    }
+
+    /// Whether a cell is blocked by an obstacle.
+    pub fn is_blocked(&self, cell: RouteCell) -> bool {
+        self.blocked[self.index(cell)]
+    }
+
+    /// Fraction of blocked cells.
+    pub fn blocked_fraction(&self) -> f64 {
+        self.blocked.iter().filter(|&&b| b).count() as f64 / self.blocked.len().max(1) as f64
+    }
+
+    /// Centre of a cell in µm.
+    pub fn cell_center(&self, cell: RouteCell) -> (f64, f64) {
+        (
+            self.origin.0 + (cell.x as f64 + 0.5) * self.cell_size,
+            self.origin.1 + (cell.y as f64 + 0.5) * self.cell_size,
+        )
+    }
+
+    /// The grid cell containing a µm point, clamped to the grid.
+    pub fn cell_at(&self, x: f64, y: f64) -> RouteCell {
+        let cx = ((x - self.origin.0) / self.cell_size).floor().max(0.0) as usize;
+        let cy = ((y - self.origin.1) / self.cell_size).floor().max(0.0) as usize;
+        RouteCell {
+            x: cx.min(self.columns - 1),
+            y: cy.min(self.rows - 1),
+        }
+    }
+
+    /// The nearest unblocked cell to a µm point (spiral search), or `None` if
+    /// the whole grid is blocked.
+    pub fn nearest_free_cell(&self, x: f64, y: f64) -> Option<RouteCell> {
+        let start = self.cell_at(x, y);
+        if !self.is_blocked(start) {
+            return Some(start);
+        }
+        for radius in 1..self.columns.max(self.rows) {
+            for dy in -(radius as isize)..=(radius as isize) {
+                for dx in -(radius as isize)..=(radius as isize) {
+                    if dx.abs().max(dy.abs()) != radius as isize {
+                        continue;
+                    }
+                    let nx = start.x as isize + dx;
+                    let ny = start.y as isize + dy;
+                    if nx < 0 || ny < 0 || nx as usize >= self.columns || ny as usize >= self.rows {
+                        continue;
+                    }
+                    let cell = RouteCell {
+                        x: nx as usize,
+                        y: ny as usize,
+                    };
+                    if !self.is_blocked(cell) {
+                        return Some(cell);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Shortest rectilinear path between two cells avoiding blocked cells,
+    /// by breadth-first search from a set of source cells. Returns the cell
+    /// sequence from (one of) the sources to the target, or `None` if the
+    /// target is unreachable.
+    pub fn shortest_path_from_set(
+        &self,
+        sources: &[RouteCell],
+        target: RouteCell,
+    ) -> Option<Vec<RouteCell>> {
+        if sources.is_empty() {
+            return None;
+        }
+        let mut predecessor: Vec<Option<RouteCell>> = vec![None; self.columns * self.rows];
+        let mut visited = vec![false; self.columns * self.rows];
+        let mut queue = VecDeque::new();
+        for &s in sources {
+            if self.is_blocked(s) && s != target {
+                continue;
+            }
+            visited[self.index(s)] = true;
+            queue.push_back(s);
+        }
+        if queue.is_empty() {
+            return None;
+        }
+        while let Some(cell) = queue.pop_front() {
+            if cell == target {
+                // Reconstruct.
+                let mut path = vec![cell];
+                let mut cursor = cell;
+                while let Some(prev) = predecessor[self.index(cursor)] {
+                    path.push(prev);
+                    cursor = prev;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            let neighbors = [
+                (cell.x as isize + 1, cell.y as isize),
+                (cell.x as isize - 1, cell.y as isize),
+                (cell.x as isize, cell.y as isize + 1),
+                (cell.x as isize, cell.y as isize - 1),
+            ];
+            for (nx, ny) in neighbors {
+                if nx < 0 || ny < 0 || nx as usize >= self.columns || ny as usize >= self.rows {
+                    continue;
+                }
+                let next = RouteCell {
+                    x: nx as usize,
+                    y: ny as usize,
+                };
+                let idx = self.index(next);
+                if visited[idx] {
+                    continue;
+                }
+                // The target is reachable even if it sits on a blocked cell
+                // (a pin inside a block footprint).
+                if self.blocked[idx] && next != target {
+                    continue;
+                }
+                visited[idx] = true;
+                predecessor[idx] = Some(cell);
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// Shortest path between two single cells.
+    pub fn shortest_path(&self, from: RouteCell, to: RouteCell) -> Option<Vec<RouteCell>> {
+        self.shortest_path_from_set(&[from], to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with_wall() -> RoutingGrid {
+        let mut g = RoutingGrid::new(10, 10, (0.0, 0.0), 1.0);
+        // Vertical wall at x=5, leaving a gap at y=9.
+        for y in 0..9 {
+            g.block_rect(&Rect::from_origin_size(5.0, y as f64, 1.0, 1.0));
+        }
+        g
+    }
+
+    #[test]
+    fn straight_path_without_obstacles() {
+        let g = RoutingGrid::new(8, 8, (0.0, 0.0), 1.0);
+        let path = g
+            .shortest_path(RouteCell { x: 0, y: 0 }, RouteCell { x: 5, y: 0 })
+            .unwrap();
+        assert_eq!(path.len(), 6);
+    }
+
+    #[test]
+    fn path_detours_around_obstacles() {
+        let g = grid_with_wall();
+        let path = g
+            .shortest_path(RouteCell { x: 2, y: 2 }, RouteCell { x: 8, y: 2 })
+            .unwrap();
+        // Must detour via y=9: longer than the Manhattan distance of 6.
+        assert!(path.len() > 7);
+        assert!(path.iter().all(|&c| !g.is_blocked(c) || c.x != 5 || c.y == 9));
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        let mut g = RoutingGrid::new(10, 10, (0.0, 0.0), 1.0);
+        // Full wall.
+        for y in 0..10 {
+            g.block_rect(&Rect::from_origin_size(5.0, y as f64, 1.0, 1.0));
+        }
+        assert!(g
+            .shortest_path(RouteCell { x: 1, y: 1 }, RouteCell { x: 8, y: 8 })
+            .is_none());
+    }
+
+    #[test]
+    fn nearest_free_cell_escapes_obstacles() {
+        let g = grid_with_wall();
+        let free = g.nearest_free_cell(5.5, 4.5).unwrap();
+        assert!(!g.is_blocked(free));
+    }
+
+    #[test]
+    fn cell_center_roundtrip() {
+        let g = RoutingGrid::new(10, 10, (2.0, 3.0), 0.5);
+        let c = RouteCell { x: 4, y: 6 };
+        let (x, y) = g.cell_center(c);
+        assert_eq!(g.cell_at(x, y), c);
+    }
+
+    #[test]
+    fn grid_from_floorplan_marks_blocks() {
+        use afp_circuit::{BlockId, Shape};
+        use afp_layout::{Canvas, Cell, Floorplan};
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        fp.place(BlockId(0), 0, Shape::new(10.0, 10.0), Cell::new(5, 5)).unwrap();
+        let grid = RoutingGrid::from_floorplan(&fp, 32, 0.2);
+        assert!(grid.blocked_fraction() > 0.1);
+        assert!(grid.columns() > 8 && grid.rows() > 8);
+    }
+}

@@ -1,0 +1,257 @@
+//! Procedural layout completion — the ANAGEN substitute.
+//!
+//! ANAGEN [11], [12] is Infineon's proprietary procedural generator that takes
+//! a floorplan plus routing conduits and emits a DRC/LVS-clean layout. This
+//! module reproduces the part of that flow the paper's Table II measures:
+//! detailed routing along the conduits (snapping wires to a track grid,
+//! counting vias at layer changes), spacing-rule verification, and the final
+//! layout assembly with its area / dead-space accounting and generation-time
+//! report.
+
+use std::time::Instant;
+
+use afp_circuit::Circuit;
+use afp_layout::{metrics, Floorplan, Rect};
+
+use crate::conduit::{conduits_for_routing, extract_channels, Channel, Conduit};
+use crate::drc::{check, DesignRules, DrcViolation};
+use crate::steiner::{global_route, GlobalRouting};
+
+/// Technology-like parameters of the procedural generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProceduralConfig {
+    /// Routing-grid resolution used for the OARSMT construction.
+    pub routing_resolution: usize,
+    /// Wire width in µm.
+    pub wire_width_um: f64,
+    /// Routing track pitch in µm (wires snap to this grid).
+    pub track_pitch_um: f64,
+    /// Design rules applied to the completed layout.
+    pub rules: DesignRules,
+}
+
+impl Default for ProceduralConfig {
+    fn default() -> Self {
+        ProceduralConfig {
+            routing_resolution: 64,
+            wire_width_um: 0.4,
+            track_pitch_um: 0.8,
+            rules: DesignRules::default(),
+        }
+    }
+}
+
+/// A completed layout with the metrics Table II reports.
+#[derive(Debug, Clone)]
+pub struct CompletedLayout {
+    /// The placed floorplan (unchanged by routing).
+    pub floorplan: Floorplan,
+    /// The global routing used.
+    pub routing: GlobalRouting,
+    /// The detailed-routing conduits (snapped to tracks).
+    pub conduits: Vec<Conduit>,
+    /// The routing channels between blocks and their occupancy.
+    pub channels: Vec<Channel>,
+    /// Final layout area in µm² (block bounding box extended by any routing
+    /// that escapes it).
+    pub area_um2: f64,
+    /// Dead space of the final layout.
+    pub dead_space: f64,
+    /// Total routed wirelength in µm.
+    pub wirelength_um: f64,
+    /// Estimated via count (one per conduit direction change).
+    pub via_count: usize,
+    /// Detected design-rule violations.
+    pub drc_violations: Vec<DrcViolation>,
+    /// Wall-clock template-generation time in seconds.
+    pub generation_time_s: f64,
+}
+
+impl CompletedLayout {
+    /// `true` when the layout is free of spacing violations and every net was
+    /// fully connected — the "DRC and LVS clean" criterion of the paper.
+    pub fn is_clean(&self) -> bool {
+        self.drc_violations.is_empty() && self.routing.incomplete_nets() == 0
+    }
+}
+
+/// Snaps a coordinate to the routing track grid.
+fn snap(value: f64, pitch: f64) -> f64 {
+    (value / pitch).round() * pitch
+}
+
+/// Runs the procedural completion flow on a floorplanned circuit.
+pub fn complete_layout(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    config: &ProceduralConfig,
+) -> CompletedLayout {
+    let started = Instant::now();
+    // 1. Global routing: one OARSMT per net.
+    let routing = global_route(circuit, floorplan, config.routing_resolution);
+    // 2. Conduit extraction and detailed routing: snap every conduit endpoint
+    //    to the track grid.
+    let mut conduits = conduits_for_routing(&routing, config.wire_width_um);
+    for conduit in &mut conduits {
+        conduit.segment.from.0 = snap(conduit.segment.from.0, config.track_pitch_um);
+        conduit.segment.from.1 = snap(conduit.segment.from.1, config.track_pitch_um);
+        conduit.segment.to.0 = snap(conduit.segment.to.0, config.track_pitch_um);
+        conduit.segment.to.1 = snap(conduit.segment.to.1, config.track_pitch_um);
+    }
+    conduits.retain(|c| c.length() > 1e-9);
+    // 3. Channel definition.
+    let channels = extract_channels(floorplan, &conduits);
+    // 4. DRC.
+    let drc_violations = check(floorplan, &conduits, &config.rules);
+    // 5. Layout assembly: the final outline is the union of block rectangles
+    //    and conduit footprints.
+    let mut outline = floorplan
+        .bounding_box()
+        .unwrap_or(Rect::from_origin_size(0.0, 0.0, 0.0, 0.0));
+    for conduit in &conduits {
+        outline = outline.union(&conduit.footprint());
+    }
+    let area = outline.area();
+    let block_area: f64 = floorplan.placed_area_um2();
+    let dead_space = if area > 0.0 {
+        (1.0 - block_area / area).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let via_count = routing.trees.iter().map(|t| t.bend_count()).sum();
+    let wirelength_um = conduits.iter().map(Conduit::length).sum();
+
+    CompletedLayout {
+        floorplan: floorplan.clone(),
+        routing,
+        conduits,
+        channels,
+        area_um2: area,
+        dead_space,
+        wirelength_um,
+        via_count,
+        drc_violations,
+        generation_time_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Summary row of the Table II comparison for one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutReport {
+    /// Circuit name.
+    pub circuit: String,
+    /// Final layout area in µm².
+    pub area_um2: f64,
+    /// Dead space percentage.
+    pub dead_space_pct: f64,
+    /// Template (floorplan + routing) generation time in seconds.
+    pub template_time_s: f64,
+    /// Routed wirelength in µm.
+    pub wirelength_um: f64,
+    /// Whether the layout passed the geometric checks.
+    pub clean: bool,
+}
+
+impl LayoutReport {
+    /// Builds the report row from a completed layout.
+    pub fn from_layout(circuit: &Circuit, layout: &CompletedLayout, floorplan_time_s: f64) -> Self {
+        LayoutReport {
+            circuit: circuit.name.clone(),
+            area_um2: layout.area_um2,
+            dead_space_pct: layout.dead_space * 100.0,
+            template_time_s: floorplan_time_s + layout.generation_time_s,
+            wirelength_um: layout.wirelength_um,
+            clean: layout.is_clean(),
+        }
+    }
+}
+
+/// Convenience helper: the HPWL of the floorplan, exposed so reports can show
+/// proxy-vs-routed wirelength side by side.
+pub fn floorplan_hpwl(circuit: &Circuit, floorplan: &Floorplan) -> f64 {
+    metrics::hpwl(circuit, floorplan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::{generators, Shape};
+    use afp_layout::{Canvas, Cell};
+
+    fn floorplan_for(circuit: &Circuit) -> Floorplan {
+        let mut fp = Floorplan::new(Canvas::for_circuit(circuit));
+        let mut x = 0usize;
+        let mut y = 0usize;
+        let mut row_height = 0usize;
+        for id in circuit.blocks_by_decreasing_area() {
+            let area = circuit.block(id).unwrap().area_um2;
+            let shape = Shape::from_area_and_aspect(area, 1.0);
+            let (gw, gh) = fp.grid_footprint(&shape);
+            if x + gw >= afp_layout::GRID_SIZE {
+                x = 0;
+                y += row_height + 1;
+                row_height = 0;
+            }
+            fp.place(id, 0, shape, Cell::new(x, y)).unwrap();
+            x += gw + 1;
+            row_height = row_height.max(gh);
+        }
+        fp
+    }
+
+    #[test]
+    fn completion_produces_finite_metrics() {
+        let circuit = generators::ota3();
+        let fp = floorplan_for(&circuit);
+        let layout = complete_layout(&circuit, &fp, &ProceduralConfig::default());
+        assert!(layout.area_um2 > 0.0);
+        assert!((0.0..1.0).contains(&layout.dead_space));
+        assert!(layout.wirelength_um > 0.0);
+        assert_eq!(layout.routing.incomplete_nets(), 0);
+        assert!(layout.generation_time_s >= 0.0);
+    }
+
+    #[test]
+    fn conduits_are_snapped_to_tracks() {
+        let circuit = generators::ota3();
+        let fp = floorplan_for(&circuit);
+        let config = ProceduralConfig::default();
+        let layout = complete_layout(&circuit, &fp, &config);
+        for c in &layout.conduits {
+            for v in [c.segment.from.0, c.segment.from.1, c.segment.to.0, c.segment.to.1] {
+                let snapped = snap(v, config.track_pitch_um);
+                assert!((v - snapped).abs() < 1e-9, "coordinate {v} not on track grid");
+            }
+        }
+    }
+
+    #[test]
+    fn layout_area_is_at_least_block_bounding_box() {
+        let circuit = generators::bias9();
+        let fp = floorplan_for(&circuit);
+        let layout = complete_layout(&circuit, &fp, &ProceduralConfig::default());
+        let bb = fp.bounding_box().unwrap();
+        assert!(layout.area_um2 >= bb.area() * 0.999);
+    }
+
+    #[test]
+    fn report_row_has_percentage_dead_space() {
+        let circuit = generators::ota3();
+        let fp = floorplan_for(&circuit);
+        let layout = complete_layout(&circuit, &fp, &ProceduralConfig::default());
+        let report = LayoutReport::from_layout(&circuit, &layout, 0.5);
+        assert_eq!(report.circuit, "OTA-3");
+        assert!(report.dead_space_pct >= 0.0 && report.dead_space_pct <= 100.0);
+        assert!(report.template_time_s >= 0.5);
+    }
+
+    #[test]
+    fn routed_wirelength_exceeds_proxy_hpwl_lower_bound() {
+        // Detailed routes must be at least as long as a point-to-point proxy.
+        let circuit = generators::ota5();
+        let fp = floorplan_for(&circuit);
+        let layout = complete_layout(&circuit, &fp, &ProceduralConfig::default());
+        let hpwl = floorplan_hpwl(&circuit, &fp);
+        assert!(layout.wirelength_um > 0.3 * hpwl);
+    }
+}

@@ -1,0 +1,99 @@
+//! Weight initialization schemes.
+//!
+//! The paper's networks (R-GCN layers, CNN feature extractor, deconvolutional
+//! policy head, MLP heads) are initialized with the standard Glorot/Xavier and
+//! He/Kaiming uniform schemes used by DGL and Stable-Baselines3.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Weight initialization scheme for a layer parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros (used for biases).
+    Zeros,
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`, suited to ReLU.
+    KaimingUniform,
+    /// Orthogonal-ish initialization approximated by scaled Xavier; used for
+    /// policy output layers where small initial logits help exploration.
+    ScaledXavier(f32),
+}
+
+impl Init {
+    /// Samples a tensor of the given shape with the given fan-in / fan-out.
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        shape: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+    ) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data: Vec<f32> = match self {
+            Init::Zeros => vec![0.0; n],
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::KaimingUniform => {
+                let a = (6.0 / fan_in.max(1) as f32).sqrt();
+                (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+            }
+            Init::ScaledXavier(scale) => {
+                let a = scale * (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                if a == 0.0 {
+                    vec![0.0; n]
+                } else {
+                    (0..n).map(|_| rng.gen_range(-a..=a)).collect()
+                }
+            }
+        };
+        Tensor::from_vec(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_init_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = Init::Zeros.sample(&mut rng, &[3, 3], 3, 3);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let fan_in = 16;
+        let fan_out = 16;
+        let a = (6.0 / 32.0f32).sqrt();
+        let t = Init::XavierUniform.sample(&mut rng, &[fan_in, fan_out], fan_in, fan_out);
+        assert!(t.max() <= a + 1e-6);
+        assert!(t.min() >= -a - 1e-6);
+        // Should not be degenerate.
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn kaiming_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Init::KaimingUniform.sample(&mut rng, &[8, 4], 4, 8);
+        let a = (6.0 / 4.0f32).sqrt();
+        assert!(t.max() <= a + 1e-6);
+        assert!(t.min() >= -a - 1e-6);
+    }
+
+    #[test]
+    fn scaled_xavier_is_smaller() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Init::ScaledXavier(0.01).sample(&mut rng, &[64, 64], 64, 64);
+        assert!(t.max().abs() < 0.01);
+    }
+}

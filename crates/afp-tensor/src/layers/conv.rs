@@ -1,0 +1,255 @@
+//! 2-D convolution over `[channels, height, width]` inputs.
+
+use rand::Rng;
+
+use crate::{Init, Layer, Param, Tensor};
+
+/// A 2-D convolution layer.
+///
+/// The paper's CNN state feature extractor stacks five of these with a 3×3
+/// kernel, stride 1 and padding 1 over the 6×32×32 mask tensor
+/// (grid view, wire mask, dead-space mask and the three positional masks).
+///
+/// Input and output layout is `[channels, height, width]` (single sample).
+///
+/// # Examples
+///
+/// ```
+/// use afp_tensor::{layers::Conv2d, Layer, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[2, 8, 8]));
+/// assert_eq!(y.shape(), &[4, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param, // [out_c, in_c, kh, kw]
+    bias: Param,   // [out_c]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-uniform weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Init::KaimingUniform.sample(
+            rng,
+            &[out_channels, in_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+        );
+        Conv2d {
+            weight: Param::new("conv2d.weight", weight),
+            bias: Param::new("conv2d.bias", Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Spatial output size for a given input size.
+    pub fn output_size(&self, input_size: usize) -> usize {
+        (input_size + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    fn check_input(&self, input: &Tensor) {
+        assert_eq!(input.ndim(), 3, "Conv2d expects [C, H, W] input");
+        assert_eq!(
+            input.shape()[0],
+            self.in_channels,
+            "Conv2d expects {} input channels, got {}",
+            self.in_channels,
+            input.shape()[0]
+        );
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.check_input(input);
+        self.cached_input = Some(input.clone());
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        let k = self.kernel;
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let mut out = vec![0.0f32; self.out_channels * oh * ow];
+        for oc in 0..self.out_channels {
+            let b = self.bias.value.get(oc);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    let iy0 = oy * self.stride;
+                    let ix0 = ox * self.stride;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..k {
+                            let iy = iy0 + ky;
+                            if iy < self.padding || iy - self.padding >= h {
+                                continue;
+                            }
+                            let iy = iy - self.padding;
+                            for kx in 0..k {
+                                let ix = ix0 + kx;
+                                if ix < self.padding || ix - self.padding >= w {
+                                    continue;
+                                }
+                                let ix = ix - self.padding;
+                                let xv = x[ic * h * w + iy * w + ix];
+                                let wv = wgt[((oc * self.in_channels + ic) * k + ky) * k + kx];
+                                acc += xv * wv;
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Conv2d::backward called before forward")
+            .clone();
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        assert_eq!(grad_output.shape(), &[self.out_channels, oh, ow]);
+        let k = self.kernel;
+        let x = input.data();
+        let gy = grad_output.data();
+        let wgt = self.weight.value.data();
+        let mut gx = vec![0.0f32; self.in_channels * h * w];
+        {
+            let gw = self.weight.grad.data_mut();
+            let gb = self.bias.grad.data_mut();
+            for oc in 0..self.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = gy[oc * oh * ow + oy * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += g;
+                        let iy0 = oy * self.stride;
+                        let ix0 = ox * self.stride;
+                        for ic in 0..self.in_channels {
+                            for ky in 0..k {
+                                let iy = iy0 + ky;
+                                if iy < self.padding || iy - self.padding >= h {
+                                    continue;
+                                }
+                                let iy = iy - self.padding;
+                                for kx in 0..k {
+                                    let ix = ix0 + kx;
+                                    if ix < self.padding || ix - self.padding >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - self.padding;
+                                    let xi = ic * h * w + iy * w + ix;
+                                    let wi = ((oc * self.in_channels + ic) * k + ky) * k + kx;
+                                    gw[wi] += g * x[xi];
+                                    gx[xi] += g * wgt[wi];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, &[self.in_channels, h, w])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_same_padding() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 5, 3, 1, 1, &mut rng);
+        let y = conv.forward(&Tensor::zeros(&[3, 16, 16]));
+        assert_eq!(y.shape(), &[5, 16, 16]);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        // Build a delta kernel: only the centre tap is 1.
+        let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+        w.data_mut()[4] = 1.0;
+        conv.weight.value = w;
+        conv.bias.value = Tensor::zeros(&[1]);
+        let input = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 4, 4]);
+        let y = conv.forward(&input);
+        assert_eq!(y.data(), input.data());
+    }
+
+    #[test]
+    fn stride_two_halves_resolution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 2, 4, 2, 1, &mut rng);
+        let y = conv.forward(&Tensor::zeros(&[1, 8, 8]));
+        assert_eq!(y.shape(), &[2, 4, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let input = Init::XavierUniform.sample(&mut rng, &[2, 5, 5], 50, 75);
+        let max_err = check_layer_gradients(&mut conv, &input);
+        assert!(max_err < 2e-2, "max gradient error {}", max_err);
+    }
+
+    #[test]
+    #[should_panic(expected = "input channels")]
+    fn wrong_channel_count_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, &mut rng);
+        let _ = conv.forward(&Tensor::zeros(&[3, 4, 4]));
+    }
+}

@@ -1,0 +1,257 @@
+//! 2-D transposed convolution ("deconvolution") over `[channels, height, width]`.
+
+use rand::Rng;
+
+use crate::{Init, Layer, Param, Tensor};
+
+/// A 2-D transposed convolution layer.
+///
+/// The paper's deconvolutional policy network upsamples a 512-dimensional state
+/// embedding back to the 32×32 action grid with three of these layers
+/// (kernel 4×4, stride 2, padding 1), so that the agent can emit a joint
+/// probability distribution over `(shape, grid cell)` actions.
+///
+/// The output spatial size for an input of size `n` is
+/// `(n - 1) * stride - 2 * padding + kernel`, i.e. kernel 4 / stride 2 /
+/// padding 1 exactly doubles the resolution.
+///
+/// # Examples
+///
+/// ```
+/// use afp_tensor::{layers::ConvTranspose2d, Layer, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut deconv = ConvTranspose2d::new(8, 4, 4, 2, 1, &mut rng);
+/// let y = deconv.forward(&Tensor::zeros(&[8, 4, 4]));
+/// assert_eq!(y.shape(), &[4, 8, 8]);
+/// ```
+#[derive(Debug)]
+pub struct ConvTranspose2d {
+    weight: Param, // [in_c, out_c, kh, kw]
+    bias: Param,   // [out_c]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed convolution layer with Kaiming-uniform weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = Init::KaimingUniform.sample(
+            rng,
+            &[in_channels, out_channels, kernel, kernel],
+            fan_in,
+            fan_out,
+        );
+        ConvTranspose2d {
+            weight: Param::new("deconv.weight", weight),
+            bias: Param::new("deconv.bias", Tensor::zeros(&[out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Spatial output size for a given input size.
+    pub fn output_size(&self, input_size: usize) -> usize {
+        (input_size - 1) * self.stride + self.kernel - 2 * self.padding
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for ConvTranspose2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.ndim(), 3, "ConvTranspose2d expects [C, H, W] input");
+        assert_eq!(
+            input.shape()[0],
+            self.in_channels,
+            "ConvTranspose2d expects {} input channels, got {}",
+            self.in_channels,
+            input.shape()[0]
+        );
+        self.cached_input = Some(input.clone());
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        let k = self.kernel;
+        let x = input.data();
+        let wgt = self.weight.value.data();
+        let mut out = vec![0.0f32; self.out_channels * oh * ow];
+        // Initialize with bias.
+        for oc in 0..self.out_channels {
+            let b = self.bias.value.get(oc);
+            if b != 0.0 {
+                for v in &mut out[oc * oh * ow..(oc + 1) * oh * ow] {
+                    *v = b;
+                }
+            }
+        }
+        for ic in 0..self.in_channels {
+            for iy in 0..h {
+                for ix in 0..w {
+                    let xv = x[ic * h * w + iy * w + ix];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    for oc in 0..self.out_channels {
+                        for ky in 0..k {
+                            let oy = iy * self.stride + ky;
+                            if oy < self.padding || oy - self.padding >= oh {
+                                continue;
+                            }
+                            let oy = oy - self.padding;
+                            for kx in 0..k {
+                                let ox = ix * self.stride + kx;
+                                if ox < self.padding || ox - self.padding >= ow {
+                                    continue;
+                                }
+                                let ox = ox - self.padding;
+                                let wv = wgt[((ic * self.out_channels + oc) * k + ky) * k + kx];
+                                out[oc * oh * ow + oy * ow + ox] += xv * wv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("ConvTranspose2d::backward called before forward")
+            .clone();
+        let (h, w) = (input.shape()[1], input.shape()[2]);
+        let oh = self.output_size(h);
+        let ow = self.output_size(w);
+        assert_eq!(grad_output.shape(), &[self.out_channels, oh, ow]);
+        let k = self.kernel;
+        let x = input.data();
+        let gy = grad_output.data();
+        let wgt = self.weight.value.data();
+        let mut gx = vec![0.0f32; self.in_channels * h * w];
+        {
+            let gw = self.weight.grad.data_mut();
+            let gb = self.bias.grad.data_mut();
+            for oc in 0..self.out_channels {
+                for v in &gy[oc * oh * ow..(oc + 1) * oh * ow] {
+                    gb[oc] += v;
+                }
+            }
+            for ic in 0..self.in_channels {
+                for iy in 0..h {
+                    for ix in 0..w {
+                        let xi = ic * h * w + iy * w + ix;
+                        let xv = x[xi];
+                        let mut gxi = 0.0f32;
+                        for oc in 0..self.out_channels {
+                            for ky in 0..k {
+                                let oy = iy * self.stride + ky;
+                                if oy < self.padding || oy - self.padding >= oh {
+                                    continue;
+                                }
+                                let oy = oy - self.padding;
+                                for kx in 0..k {
+                                    let ox = ix * self.stride + kx;
+                                    if ox < self.padding || ox - self.padding >= ow {
+                                        continue;
+                                    }
+                                    let ox = ox - self.padding;
+                                    let g = gy[oc * oh * ow + oy * ow + ox];
+                                    if g == 0.0 {
+                                        continue;
+                                    }
+                                    let wi = ((ic * self.out_channels + oc) * k + ky) * k + kx;
+                                    gw[wi] += g * xv;
+                                    gxi += g * wgt[wi];
+                                }
+                            }
+                        }
+                        gx[xi] += gxi;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, &[self.in_channels, h, w])
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &str {
+        "ConvTranspose2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn doubles_spatial_resolution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut deconv = ConvTranspose2d::new(4, 2, 4, 2, 1, &mut rng);
+        let y = deconv.forward(&Tensor::zeros(&[4, 8, 8]));
+        assert_eq!(y.shape(), &[2, 16, 16]);
+    }
+
+    #[test]
+    fn three_stage_upsample_reaches_32() {
+        // The paper's policy: 4×4 → 8×8 → 16×16 → 32×32.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d1 = ConvTranspose2d::new(32, 32, 4, 2, 1, &mut rng);
+        let mut d2 = ConvTranspose2d::new(32, 16, 4, 2, 1, &mut rng);
+        let mut d3 = ConvTranspose2d::new(16, 8, 4, 2, 1, &mut rng);
+        let y = d3.forward(&d2.forward(&d1.forward(&Tensor::zeros(&[32, 4, 4]))));
+        assert_eq!(y.shape(), &[8, 32, 32]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut deconv = ConvTranspose2d::new(2, 2, 4, 2, 1, &mut rng);
+        let input = Init::XavierUniform.sample(&mut rng, &[2, 3, 3], 18, 18);
+        let max_err = check_layer_gradients(&mut deconv, &input);
+        assert!(max_err < 2e-2, "max gradient error {}", max_err);
+    }
+
+    #[test]
+    fn bias_fills_output() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut deconv = ConvTranspose2d::new(1, 1, 4, 2, 1, &mut rng);
+        deconv.weight.value = Tensor::zeros(&[1, 1, 4, 4]);
+        deconv.bias.value = Tensor::from_slice(&[0.7]);
+        let y = deconv.forward(&Tensor::zeros(&[1, 2, 2]));
+        assert!(y.data().iter().all(|&v| (v - 0.7).abs() < 1e-6));
+    }
+}

@@ -1,0 +1,132 @@
+//! Sequential container of layers.
+
+use crate::{Layer, Param, Tensor};
+
+/// A feed-forward stack of layers applied in order.
+///
+/// # Examples
+///
+/// ```
+/// use afp_tensor::{layers::{Activation, Dense, Sequential}, Layer, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(4, 8, &mut rng));
+/// net.push(Activation::relu());
+/// net.push(Dense::new(8, 1, &mut rng));
+/// let y = net.forward(&Tensor::zeros(&[4]));
+/// assert_eq!(y.shape(), &[1]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential({:?})", names)
+    }
+}
+
+impl Sequential {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the stack.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Appends a boxed layer to the stack.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the container holds no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn name(&self) -> &str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::layers::{Activation, Dense};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut StdRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 6, rng));
+        net.push(Activation::tanh());
+        net.push(Dense::new(6, 3, rng));
+        net
+    }
+
+    #[test]
+    fn forward_produces_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(&mut rng);
+        let y = net.forward(&Tensor::from_slice(&[0.1, 0.2, -0.3, 0.4]));
+        assert_eq!(y.shape(), &[3]);
+        assert_eq!(net.len(), 3);
+    }
+
+    #[test]
+    fn gradients_flow_through_stack() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut net = mlp(&mut rng);
+        let input = Tensor::from_slice(&[0.5, -0.2, 0.1, 0.9]);
+        let max_err = check_layer_gradients(&mut net, &input);
+        assert!(max_err < 1e-2, "max gradient error {}", max_err);
+    }
+
+    #[test]
+    fn params_collects_all_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = mlp(&mut rng);
+        // Two dense layers → 4 parameter tensors.
+        assert_eq!(net.params().len(), 4);
+        assert_eq!(net.num_parameters(), 4 * 6 + 6 + 6 * 3 + 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: floorplan a small OTA and complete its layout.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example builds the 3-structure OTA used in the paper's training set,
+//! floorplans it with an (untrained) R-GCN + RL agent — action masking
+//! guarantees a valid, overlap-free floorplan even before training — and then
+//! runs the OARSMT global router and the procedural layout completion,
+//! printing the metrics the paper reports.
+
+use analog_floorplan::circuit::generators;
+use analog_floorplan::core::LayoutPipeline;
+use analog_floorplan::rl::{AgentConfig, FloorplanAgent};
+
+fn main() {
+    // 1. Pick a circuit (see `afp_circuit::generators` for the full set).
+    let circuit = generators::ota3();
+    println!(
+        "circuit: {} ({} blocks, {} nets, {} constraints)",
+        circuit.name,
+        circuit.num_blocks(),
+        circuit.num_nets(),
+        circuit.constraints.len()
+    );
+
+    // 2. Create the floorplanning agent. `AgentConfig::paper()` selects the
+    //    full architecture of the paper; the small configuration keeps this
+    //    example fast on any machine.
+    let agent = FloorplanAgent::new(AgentConfig::small());
+
+    // 3. Run the end-to-end pipeline: floorplan → global routing → layout.
+    let mut pipeline = LayoutPipeline::with_agent(agent);
+    let result = pipeline.run(&circuit);
+
+    println!("floorplan reward (Eq. 5): {:.3}", result.floorplan_reward);
+    println!(
+        "floorplan: HPWL = {:.1} um, dead space = {:.1}%",
+        result.floorplan_metrics.hpwl_um,
+        result.floorplan_metrics.dead_space * 100.0
+    );
+    println!(
+        "layout: area = {:.1} um^2, dead space = {:.1}%, routed wirelength = {:.1} um, vias = {}",
+        result.layout.area_um2,
+        result.layout.dead_space * 100.0,
+        result.layout.wirelength_um,
+        result.layout.via_count
+    );
+    println!(
+        "layout is {} (DRC violations: {}, unrouted nets: {})",
+        if result.layout.is_clean() { "clean" } else { "NOT clean" },
+        result.layout.drc_violations.len(),
+        result.layout.routing.incomplete_nets()
+    );
+
+    println!("\nfloorplan (32x32 grid):\n{}", result.to_ascii());
+}

@@ -1,0 +1,74 @@
+//! Train a small agent with the hybrid curriculum and transfer it to an
+//! unseen circuit (zero-shot and few-shot), mirroring the protocol of the
+//! paper's Table I at a size that runs in well under a minute on a laptop.
+//!
+//! ```bash
+//! cargo run --release --example train_and_transfer
+//! ```
+
+use analog_floorplan::circuit::generators;
+use analog_floorplan::gnn::{pretrain, PretrainConfig};
+use analog_floorplan::rl::{train_with_encoder, TrainConfig};
+
+fn main() {
+    // 1. Pre-train the R-GCN reward model on a small floorplan/reward dataset
+    //    and keep its encoder (paper §IV-C).
+    let pretrain_cfg = PretrainConfig {
+        samples: 16,
+        epochs: 4,
+        ..PretrainConfig::small()
+    };
+    let pretrained = pretrain(&pretrain_cfg);
+    println!(
+        "R-GCN pre-training: {} train / {} val samples, final val MSE = {:.3}",
+        pretrained.train_size,
+        pretrained.validation_size,
+        pretrained.final_validation_mse()
+    );
+    let encoder = pretrained.model.into_encoder();
+
+    // 2. Train the RL agent with the hybrid curriculum on the training
+    //    circuits (paper §IV-D5). The configuration is intentionally tiny;
+    //    `TrainConfig::paper()` reproduces the full 4096-episode schedule.
+    let train_cfg = TrainConfig {
+        episodes_per_circuit: 12,
+        episodes_per_update: 4,
+        ..TrainConfig::small()
+    };
+    let curriculum = vec![generators::ota3(), generators::bias3()];
+    let mut result = train_with_encoder(encoder, &curriculum, &train_cfg);
+    println!("\ntraining history (one row per PPO update):");
+    for stats in &result.history {
+        println!(
+            "  epoch {:>3}  stage {} ({:<8})  reward mean {:>8.2}  approx KL {:>8.4}  completed {:>5.1}%",
+            stats.epoch,
+            stats.stage,
+            stats.circuit,
+            stats.episode_reward_mean,
+            stats.approx_kl,
+            stats.completion_rate * 100.0
+        );
+    }
+
+    // 3. Zero-shot transfer to an unseen circuit (the RS latch), then a short
+    //    few-shot fine-tuning on the same circuit.
+    let unseen = generators::rs_latch();
+    let zero_shot = result.agent.solve(&unseen);
+    println!(
+        "\nzero-shot on {}: reward {:.2}, HPWL {:.1} um, dead space {:.1}%  ({:.3} s)",
+        unseen.name,
+        zero_shot.reward,
+        zero_shot.metrics.hpwl_um,
+        zero_shot.metrics.dead_space * 100.0,
+        zero_shot.runtime_s
+    );
+
+    let rewards = result.agent.fine_tune(&unseen, 8);
+    let few_shot = result.agent.solve(&unseen);
+    println!(
+        "after {}-episode fine-tuning: reward {:.2} (fine-tune episode rewards: {:?})",
+        rewards.len(),
+        few_shot.reward,
+        rewards.iter().map(|r| (r * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
+}

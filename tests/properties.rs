@@ -1,0 +1,128 @@
+//! Property-based tests over the core data structures and invariants, using
+//! randomly generated circuits, placements and sequence pairs.
+
+use proptest::prelude::*;
+
+use analog_floorplan::circuit::{Block, BlockId, BlockKind, Shape};
+use analog_floorplan::circuit::{node_features, NODE_FEATURE_DIM};
+use analog_floorplan::layout::{metrics, Canvas, Cell, Floorplan, SequencePair, GRID_SIZE};
+use analog_floorplan::tensor::Tensor;
+
+/// Strategy producing a plausible block area in µm².
+fn area_strategy() -> impl Strategy<Value = f64> {
+    1.0f64..2000.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Candidate shapes always preserve the block area, whatever the kind.
+    #[test]
+    fn shape_sets_preserve_area(area in area_strategy(), kind_idx in 0usize..BlockKind::COUNT) {
+        let kind = BlockKind::ALL[kind_idx];
+        let block = Block::new(BlockId(0), "b", kind, area, 3);
+        let shapes = analog_floorplan::circuit::ShapeSet::for_block(&block);
+        for s in shapes.shapes() {
+            prop_assert!((s.area_um2() - area).abs() < 1e-6 * area.max(1.0));
+            prop_assert!(s.width_um > 0.0 && s.height_um > 0.0);
+        }
+    }
+
+    /// Node features stay within [0, 1] for any area / pin count combination.
+    #[test]
+    fn node_features_are_bounded(area in area_strategy(), max_area in area_strategy(), pins in 0u32..40) {
+        let block = Block::new(BlockId(0), "b", BlockKind::CurrentMirror, area, pins);
+        let f = node_features(&block, area.max(max_area));
+        prop_assert_eq!(f.len(), NODE_FEATURE_DIM);
+        for v in f {
+            prop_assert!((0.0..=1.0).contains(&v), "feature {} out of range", v);
+        }
+    }
+
+    /// Placement never allows overlapping footprints, regardless of the
+    /// requested cells and shapes.
+    #[test]
+    fn floorplan_never_overlaps(
+        placements in prop::collection::vec(((0usize..GRID_SIZE), (0usize..GRID_SIZE), (1.0f64..12.0), (1.0f64..12.0)), 1..12)
+    ) {
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        for (i, (x, y, w, h)) in placements.into_iter().enumerate() {
+            let _ = fp.place(BlockId(i), 0, Shape::new(w, h), Cell::new(x, y));
+        }
+        // No two placed rectangles overlap.
+        let placed = fp.placed();
+        for i in 0..placed.len() {
+            for j in (i + 1)..placed.len() {
+                prop_assert!(!placed[i].rect.overlaps(&placed[j].rect),
+                    "blocks {} and {} overlap", i, j);
+            }
+        }
+        // Dead space stays in [0, 1).
+        let ds = metrics::dead_space(&fp);
+        prop_assert!((0.0..1.0).contains(&ds) || placed.is_empty());
+    }
+
+    /// Sequence-pair packing is always overlap-free and no larger than the
+    /// sum of block dimensions.
+    #[test]
+    fn sequence_pair_packing_is_overlap_free(
+        dims in prop::collection::vec((1.0f64..20.0, 1.0f64..20.0), 2..10),
+        seed in 0u64..1000
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let shapes: Vec<Shape> = dims.iter().map(|&(w, h)| Shape::new(w, h)).collect();
+        let mut sp = SequencePair::identity(shapes.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        sp.positive.shuffle(&mut rng);
+        sp.negative.shuffle(&mut rng);
+        let packed = sp.pack();
+        for i in 0..shapes.len() {
+            for j in (i + 1)..shapes.len() {
+                prop_assert!(!packed.rects[i].overlaps(&packed.rects[j]),
+                    "sequence pair packed blocks {} and {} on top of each other", i, j);
+            }
+        }
+        let total_w: f64 = dims.iter().map(|d| d.0).sum();
+        let total_h: f64 = dims.iter().map(|d| d.1).sum();
+        prop_assert!(packed.width <= total_w + 1e-9);
+        prop_assert!(packed.height <= total_h + 1e-9);
+    }
+
+    /// Softmax over arbitrary finite logits is a probability distribution.
+    #[test]
+    fn softmax_is_a_distribution(values in prop::collection::vec(-30.0f32..30.0, 1..64)) {
+        let t = Tensor::from_slice(&values);
+        let s = t.softmax();
+        let sum: f32 = s.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+        prop_assert!(s.data().iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+    }
+
+    /// HPWL is translation-invariant: shifting a whole floorplan does not
+    /// change the wirelength.
+    #[test]
+    fn hpwl_is_translation_invariant(dx in 0usize..8, dy in 0usize..8) {
+        use analog_floorplan::circuit::generators;
+        let circuit = generators::ota3();
+        let canvas = Canvas::new(64.0, 64.0);
+        let build = |ox: usize, oy: usize| {
+            let mut fp = Floorplan::new(canvas);
+            let order = circuit.blocks_by_decreasing_area();
+            let mut x = ox;
+            for id in order {
+                let area = circuit.block(id).unwrap().area_um2;
+                let shape = Shape::from_area_and_aspect(area, 1.0);
+                fp.place(id, 0, shape, Cell::new(x, oy)).unwrap();
+                let (gw, _) = fp.grid_footprint(&shape);
+                x += gw;
+            }
+            fp
+        };
+        let base = build(0, 0);
+        let shifted = build(dx, dy);
+        let h0 = metrics::hpwl(&circuit, &base);
+        let h1 = metrics::hpwl(&circuit, &shifted);
+        prop_assert!((h0 - h1).abs() < 1e-6, "HPWL changed under translation: {} vs {}", h0, h1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration tests of the learning stack: R-GCN pre-training, curriculum RL
+//! training, zero-shot transfer and few-shot fine-tuning.
+
+use analog_floorplan::circuit::generators;
+use analog_floorplan::gnn::{pretrain, PretrainConfig};
+use analog_floorplan::rl::{train, train_with_encoder, TrainConfig};
+
+#[test]
+fn pretrained_encoder_plugs_into_rl_training() {
+    // Pre-train the reward model on a tiny dataset, keep the encoder, train a
+    // tiny agent with it, and verify the trained agent still solves circuits.
+    let pretrained = pretrain(&PretrainConfig {
+        samples: 8,
+        epochs: 2,
+        ..PretrainConfig::small()
+    });
+    assert!(pretrained.final_validation_mse().is_finite());
+    let encoder = pretrained.model.into_encoder();
+
+    let config = TrainConfig {
+        episodes_per_circuit: 6,
+        episodes_per_update: 3,
+        ..TrainConfig::small()
+    };
+    let mut result = train_with_encoder(encoder, &[generators::ota3()], &config);
+    assert!(!result.history.is_empty());
+    let solved = result.agent.solve(&generators::ota3());
+    assert_eq!(solved.floorplan.num_placed(), 3);
+}
+
+#[test]
+fn training_history_records_reward_and_kl_curves() {
+    // The Fig. 6 reproduction relies on these two series being populated and
+    // finite for every update.
+    let config = TrainConfig {
+        episodes_per_circuit: 8,
+        episodes_per_update: 4,
+        ..TrainConfig::small()
+    };
+    let result = train(&[generators::ota3(), generators::bias3()], &config);
+    assert_eq!(result.history.len(), 4);
+    for stats in &result.history {
+        assert!(stats.episode_reward_mean.is_finite());
+        assert!(stats.approx_kl.is_finite());
+        assert!(stats.approx_kl >= -1e-3, "KL must be (numerically) non-negative");
+    }
+    // The curriculum must have visited both circuits.
+    let circuits: Vec<&str> = result.history.iter().map(|h| h.circuit.as_str()).collect();
+    assert!(circuits.contains(&"OTA-3"));
+    assert!(circuits.contains(&"Bias-3"));
+}
+
+#[test]
+fn few_shot_fine_tuning_runs_on_an_unseen_circuit() {
+    let config = TrainConfig {
+        episodes_per_circuit: 4,
+        episodes_per_update: 2,
+        ..TrainConfig::small()
+    };
+    let mut result = train(&[generators::ota3()], &config);
+    let unseen = generators::rs_latch();
+    let zero_shot = result.agent.solve(&unseen);
+    let rewards = result.agent.fine_tune(&unseen, 6);
+    let few_shot = result.agent.solve(&unseen);
+    assert_eq!(rewards.len(), 6);
+    assert!(zero_shot.reward.is_finite());
+    assert!(few_shot.reward.is_finite());
+    // Both produce complete floorplans of the unseen circuit.
+    assert_eq!(zero_shot.floorplan.num_placed(), unseen.num_blocks());
+    assert_eq!(few_shot.floorplan.num_placed(), unseen.num_blocks());
+}
