@@ -1,0 +1,39 @@
+//! Criterion bench of the sequence-pair packing engines — the perf
+//! trajectory guard for the FAST-SP work.
+//!
+//! Compares the FAST-SP O(n log n) LCS evaluation (`pack_into`, scratch
+//! reuse) against the legacy O(n³) relaxation packer over block counts
+//! spanning the paper's circuits (10–19 blocks) up to the scaling regime the
+//! ROADMAP targets (200 blocks). The acceptance bar of the FAST-SP PR is a
+//! ≥ 10× speedup at n = 100.
+//!
+//! Run with `cargo bench --bench pack`; `bench_snapshot` records the same
+//! measurements into `BENCH_pack.json` for cross-PR comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use afp_bench::perf::{random_pair, PACK_SIZES};
+use afp_layout::sequence_pair::PackedFloorplan;
+use afp_layout::PackScratch;
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack");
+    group.sample_size(20);
+    for n in PACK_SIZES {
+        let sp = random_pair(n, 0xBEEF ^ n as u64);
+
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut out = PackedFloorplan::default();
+        group.bench_with_input(BenchmarkId::new("fast_sp", n), &sp, |b, sp| {
+            b.iter(|| sp.pack_into(&mut scratch, &mut out))
+        });
+
+        group.bench_with_input(BenchmarkId::new("legacy_relaxation", n), &sp, |b, sp| {
+            b.iter(|| sp.pack_relaxation())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack);
+criterion_main!(benches);

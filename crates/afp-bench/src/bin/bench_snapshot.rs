@@ -1,0 +1,62 @@
+//! Reproducible perf snapshot: writes `BENCH_pack.json` with the packing
+//! engines' median times and the SA evaluation throughput, so every PR that
+//! touches the hot path has a trajectory to compare against.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin bench_snapshot`
+//! (run from the repository root; the snapshot is written to
+//! `BENCH_pack.json` in the current directory).
+
+use std::time::Instant;
+
+use afp_bench::perf::{median_ns, random_pair, PACK_SIZES};
+use afp_circuit::generators;
+use afp_layout::sequence_pair::PackedFloorplan;
+use afp_layout::PackScratch;
+use afp_metaheuristics::{simulated_annealing, SaConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    for &n in &PACK_SIZES {
+        let sp = random_pair(n, 0xBEEF ^ n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut out = PackedFloorplan::default();
+        let fast_ns = median_ns(|| sp.pack_into(&mut scratch, &mut out));
+        let legacy_ns = median_ns(|| {
+            let _ = sp.pack_relaxation();
+        });
+        let speedup = legacy_ns / fast_ns.max(1e-9);
+        println!(
+            "pack n={n:>3}: fast_sp {fast_ns:>12.1} ns  legacy {legacy_ns:>14.1} ns  speedup {speedup:>8.1}x"
+        );
+        rows.push(format!(
+            "    {{\"blocks\": {n}, \"fast_sp_ns\": {fast_ns:.1}, \"legacy_relaxation_ns\": {legacy_ns:.1}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+
+    // SA throughput on the largest paper circuit (Bias-2, 19 blocks): full
+    // cost evaluations (pack + grid realization + reward) per second.
+    let circuit = generators::bias19();
+    let config = SaConfig::table1();
+    let started = Instant::now();
+    let result = simulated_annealing(&circuit, &config);
+    let elapsed = started.elapsed().as_secs_f64();
+    let moves_per_sec = result.evaluations as f64 / elapsed.max(1e-9);
+    println!(
+        "sa bias19: {} evaluations in {elapsed:.3} s -> {moves_per_sec:.0} moves/s (reward {:.3})",
+        result.evaluations, result.reward
+    );
+
+    let json = format!
+        (
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation sequence-pair packing; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        rows.join(",\n"),
+        circuit.name,
+        circuit.num_blocks(),
+        config.iterations,
+        result.evaluations,
+        elapsed,
+        moves_per_sec,
+    );
+    std::fs::write("BENCH_pack.json", &json).expect("write BENCH_pack.json");
+    println!("wrote BENCH_pack.json");
+}

@@ -57,6 +57,7 @@ impl fmt::Display for ExperimentScale {
 
 pub mod ablations;
 pub mod figures;
+pub mod perf;
 pub mod pretraining;
 pub mod table1;
 pub mod table2;

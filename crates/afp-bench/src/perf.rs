@@ -1,0 +1,81 @@
+//! Shared helpers of the perf harness: deterministic workloads and a small
+//! median timer used by both the `pack` criterion bench and the
+//! `bench_snapshot` binary, so the two always measure the same thing.
+
+use std::time::Instant;
+
+use afp_circuit::Shape;
+use afp_layout::SequencePair;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Block counts the packing benches sweep: the paper's circuits are 10–19
+/// blocks; 50–200 probe the scaling regime the ROADMAP targets.
+pub const PACK_SIZES: [usize; 5] = [10, 19, 50, 100, 200];
+
+/// Deterministic random sequence pair with `n` blocks.
+pub fn random_pair(n: usize, seed: u64) -> SequencePair {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes: Vec<Shape> = (0..n)
+        .map(|_| Shape::new(rng.gen_range(1.0..25.0), rng.gen_range(1.0..25.0)))
+        .collect();
+    let mut sp = SequencePair::identity(shapes);
+    sp.positive.shuffle(&mut rng);
+    sp.negative.shuffle(&mut rng);
+    sp
+}
+
+/// Median nanoseconds per call of `f`: calibrates a batch size targeting
+/// ~10 ms, then reports the median of 15 timed batches.
+pub fn median_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Calibrate.
+    let mut iters = 1u64;
+    let per_iter_ns = loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= 5 || iters >= 1 << 22 {
+            break elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 4;
+    };
+    let batch = ((10_000_000.0 / per_iter_ns.max(1.0)).round() as u64).max(1);
+    // Measure.
+    let mut samples: Vec<f64> = (0..15)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_pair_is_a_permutation() {
+        let sp = random_pair(32, 7);
+        let mut pos = sp.positive.clone();
+        pos.sort_unstable();
+        assert_eq!(pos, (0..32).collect::<Vec<_>>());
+        assert_eq!(sp.shapes.len(), 32);
+        // Deterministic per seed.
+        assert_eq!(sp, random_pair(32, 7));
+    }
+
+    #[test]
+    fn median_ns_returns_positive_time() {
+        let mut acc = 0u64;
+        let ns = median_ns(|| acc = acc.wrapping_add(std::hint::black_box(1)));
+        assert!(ns > 0.0);
+    }
+}

@@ -5,9 +5,13 @@
 //! threads, mirroring the paper's use of 16 parallel environments to gather
 //! experience (§V-A) at the granularity where our single-process design allows
 //! it — across independent runs.
+//!
+//! Work is distributed lock-free: items are split into contiguous chunks and
+//! workers claim chunks through a single atomic counter, writing results into
+//! per-worker buffers that are merged after the scope joins. No mutex is ever
+//! taken per item, so workers running short tasks do not serialize on a lock.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Applies `f` to every item, distributing items across `workers` threads, and
 /// returns the results in the original item order.
@@ -21,30 +25,75 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = workers.max(1);
+    let workers = workers.max(1).min(items.len());
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let work: Mutex<Vec<(usize, T)>> = Mutex::new(items.into_iter().enumerate().rev().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-    thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|_| loop {
-                let next = work.lock().pop();
-                match next {
-                    Some((index, item)) => {
-                        let out = f(item);
-                        results.lock()[index] = Some(out);
-                    }
-                    None => break,
-                }
-            });
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Chunked claiming: more chunks than workers keeps the load balanced when
+    // item costs vary, while one atomic increment per *chunk* (not per item)
+    // keeps contention negligible.
+    let chunk = (n / (workers * 4)).max(1);
+    let num_chunks = n.div_ceil(chunk);
+    let next_chunk = AtomicUsize::new(0);
+
+    // Pre-split the items into chunk-sized batches. A worker claims a batch
+    // with one atomic increment and takes ownership of it with a single,
+    // uncontended `take` — the former per-item global work queue locked the
+    // whole item list on every pop.
+    let mut batches: Vec<std::sync::Mutex<Option<(usize, Vec<T>)>>> =
+        Vec::with_capacity(num_chunks);
+    {
+        let mut items = items.into_iter();
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let batch: Vec<T> = items.by_ref().take(end - start).collect();
+            batches.push(std::sync::Mutex::new(Some((start, batch))));
+            start = end;
         }
-    })
-    .expect("worker thread panicked");
+    }
+
+    let mut buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::with_capacity(chunk * 2);
+                    loop {
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        let (start, batch) = batches[c]
+                            .lock()
+                            .expect("batch slot poisoned")
+                            .take()
+                            .expect("batch claimed twice");
+                        for (offset, item) in batch.into_iter().enumerate() {
+                            local.push((start + offset, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for buffer in &mut buffers {
+        for (index, value) in buffer.drain(..) {
+            results[index] = Some(value);
+        }
+    }
     results
-        .into_inner()
         .into_iter()
         .map(|r| r.expect("every item processed"))
         .collect()
@@ -77,5 +126,27 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let out = parallel_map(vec![5], 16, |x| x * x);
         assert_eq!(out, vec![25]);
+    }
+
+    #[test]
+    fn uneven_chunks_cover_every_item() {
+        // 1000 items over 7 workers: chunk boundaries do not divide evenly.
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(items, 7, |x| x + 1);
+        assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn variable_cost_items_balance() {
+        // Skewed workloads must still produce ordered, complete results.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(items, 4, |x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
     }
 }

@@ -40,12 +40,14 @@ mod rect;
 
 pub mod constraints;
 pub mod export;
+pub mod lcs_pack;
 pub mod masks;
 pub mod metrics;
 pub mod sequence_pair;
 pub mod spacing;
 
 pub use grid::{Canvas, Cell, DEFAULT_MAX_ASPECT_RATIO, GRID_SIZE};
+pub use lcs_pack::PackScratch;
 pub use masks::{Mask, StateMasks, STATE_CHANNELS};
 pub use metrics::{FloorplanMetrics, RewardWeights};
 pub use placement::{Floorplan, PlaceError, PlacedBlock};

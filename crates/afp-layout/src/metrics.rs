@@ -40,57 +40,98 @@ impl FloorplanMetrics {
     }
 }
 
+/// Reusable per-block center cache for the HPWL sweeps.
+///
+/// `Floorplan::block_center` is a linear scan over the placed list, and
+/// `Net::blocks()` allocates a deduplicated vector — per pin, per net, per
+/// evaluation. The scratch turns one HPWL evaluation into a single pass over
+/// the placed blocks followed by direct center lookups per pin, which is what
+/// lets the metaheuristics' cost function skip the unplaced-pin rescans.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsScratch {
+    /// `centers[b]` = center of block index `b`, or `None` while unplaced.
+    centers: Vec<Option<(f64, f64)>>,
+}
+
+impl MetricsScratch {
+    /// Creates an empty scratch; the buffer grows on first use.
+    pub fn new() -> Self {
+        MetricsScratch::default()
+    }
+
+    /// Fills the center cache from the floorplan's placed list.
+    fn fill(&mut self, circuit: &Circuit, floorplan: &Floorplan) {
+        self.centers.clear();
+        self.centers.resize(circuit.num_blocks(), None);
+        for placed in floorplan.placed() {
+            let index = placed.block.index();
+            if index < self.centers.len() {
+                self.centers[index] = Some(placed.rect.center());
+            }
+        }
+    }
+}
+
+/// Half-perimeter bounding box of one net over cached centers. Duplicate pins
+/// on one block are harmless: they collapse to the same point, so the bounding
+/// box (and the `≥ 2` placed-pin gate) matches the deduplicated definition.
+#[inline]
+fn net_bbox_halfperimeter(net: &afp_circuit::Net, centers: &[Option<(f64, f64)>]) -> Option<f64> {
+    let mut min_x = f64::MAX;
+    let mut max_x = f64::MIN;
+    let mut min_y = f64::MAX;
+    let mut max_y = f64::MIN;
+    let mut placed_pins = 0;
+    for pin in &net.pins {
+        let index = pin.block.index();
+        if let Some(Some((cx, cy))) = centers.get(index) {
+            min_x = min_x.min(*cx);
+            max_x = max_x.max(*cx);
+            min_y = min_y.min(*cy);
+            max_y = max_y.max(*cy);
+            placed_pins += 1;
+        }
+    }
+    (placed_pins >= 2).then(|| (max_x - min_x) + (max_y - min_y))
+}
+
 /// Computes the half-perimeter wirelength (paper Eq. 3) of the placed part of
 /// the floorplan. Nets with fewer than two placed blocks contribute nothing.
 /// Each net counts once, unweighted, matching the paper's definition.
 pub fn hpwl(circuit: &Circuit, floorplan: &Floorplan) -> f64 {
-    let mut total = 0.0;
-    for net in &circuit.nets {
-        let mut min_x = f64::MAX;
-        let mut max_x = f64::MIN;
-        let mut min_y = f64::MAX;
-        let mut max_y = f64::MIN;
-        let mut placed_pins = 0;
-        for block in net.blocks() {
-            if let Some((cx, cy)) = floorplan.block_center(block) {
-                min_x = min_x.min(cx);
-                max_x = max_x.max(cx);
-                min_y = min_y.min(cy);
-                max_y = max_y.max(cy);
-                placed_pins += 1;
-            }
-        }
-        if placed_pins >= 2 {
-            total += (max_x - min_x) + (max_y - min_y);
-        }
-    }
-    total
+    hpwl_with(circuit, floorplan, &mut MetricsScratch::new())
+}
+
+/// [`hpwl`] with a caller-held [`MetricsScratch`]; allocation-free once warm.
+pub fn hpwl_with(circuit: &Circuit, floorplan: &Floorplan, scratch: &mut MetricsScratch) -> f64 {
+    scratch.fill(circuit, floorplan);
+    circuit
+        .nets
+        .iter()
+        .filter_map(|net| net_bbox_halfperimeter(net, &scratch.centers))
+        .sum()
 }
 
 /// Net-class-weighted HPWL, used by the metaheuristic baselines' cost
 /// functions (critical nets count double, supplies half).
 pub fn weighted_hpwl(circuit: &Circuit, floorplan: &Floorplan) -> f64 {
-    let mut total = 0.0;
-    for net in &circuit.nets {
-        let mut min_x = f64::MAX;
-        let mut max_x = f64::MIN;
-        let mut min_y = f64::MAX;
-        let mut max_y = f64::MIN;
-        let mut placed_pins = 0;
-        for block in net.blocks() {
-            if let Some((cx, cy)) = floorplan.block_center(block) {
-                min_x = min_x.min(cx);
-                max_x = max_x.max(cx);
-                min_y = min_y.min(cy);
-                max_y = max_y.max(cy);
-                placed_pins += 1;
-            }
-        }
-        if placed_pins >= 2 {
-            total += net.weight() * ((max_x - min_x) + (max_y - min_y));
-        }
-    }
-    total
+    weighted_hpwl_with(circuit, floorplan, &mut MetricsScratch::new())
+}
+
+/// [`weighted_hpwl`] with a caller-held [`MetricsScratch`].
+pub fn weighted_hpwl_with(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    scratch: &mut MetricsScratch,
+) -> f64 {
+    scratch.fill(circuit, floorplan);
+    circuit
+        .nets
+        .iter()
+        .filter_map(|net| {
+            net_bbox_halfperimeter(net, &scratch.centers).map(|hp| net.weight() * hp)
+        })
+        .sum()
 }
 
 /// Dead space of the current floorplan: `1 − Σ placed area / bounding-box
@@ -106,9 +147,19 @@ pub fn dead_space(floorplan: &Floorplan) -> f64 {
 
 /// Computes the full metric snapshot of a floorplan.
 pub fn metrics(circuit: &Circuit, floorplan: &Floorplan) -> FloorplanMetrics {
+    metrics_with(circuit, floorplan, &mut MetricsScratch::new())
+}
+
+/// [`metrics`] with a caller-held [`MetricsScratch`]; allocation-free once
+/// warm, for evaluation loops that score thousands of floorplans.
+pub fn metrics_with(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    scratch: &mut MetricsScratch,
+) -> FloorplanMetrics {
     let bb = floorplan.bounding_box();
     FloorplanMetrics {
-        hpwl_um: hpwl(circuit, floorplan),
+        hpwl_um: hpwl_with(circuit, floorplan, scratch),
         dead_space: dead_space(floorplan),
         area_um2: bb.map(|r| r.area()).unwrap_or(0.0),
         aspect_ratio: bb.map(|r| r.aspect()).unwrap_or(1.0),
@@ -167,12 +218,24 @@ pub fn episode_reward(
     hpwl_min: f64,
     weights: &RewardWeights,
 ) -> f64 {
+    episode_reward_with(circuit, floorplan, hpwl_min, weights, &mut MetricsScratch::new())
+}
+
+/// [`episode_reward`] with a caller-held [`MetricsScratch`] — the entry point
+/// of the metaheuristics' cached cost function.
+pub fn episode_reward_with(
+    circuit: &Circuit,
+    floorplan: &Floorplan,
+    hpwl_min: f64,
+    weights: &RewardWeights,
+    scratch: &mut MetricsScratch,
+) -> f64 {
     if floorplan.num_placed() < circuit.num_blocks()
         || count_violations(circuit, floorplan) > 0
     {
         return weights.violation_penalty;
     }
-    let m = metrics(circuit, floorplan);
+    let m = metrics_with(circuit, floorplan, scratch);
     let total_area = circuit.total_block_area().max(1e-9);
     let area_term = weights.alpha * m.area_um2 / total_area;
     let hpwl_term = weights.beta * m.hpwl_um / hpwl_min.max(1e-9);

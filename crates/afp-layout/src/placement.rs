@@ -178,6 +178,16 @@ impl Floorplan {
         Some(last)
     }
 
+    /// Clears all placements and rebinds the canvas, reusing the occupancy
+    /// and placed-block buffers — the allocation-free alternative to
+    /// [`Floorplan::new`] for evaluation loops that realize thousands of
+    /// candidate floorplans.
+    pub fn reset(&mut self, canvas: Canvas) {
+        self.canvas = canvas;
+        self.occupancy.iter_mut().for_each(|c| *c = false);
+        self.placed.clear();
+    }
+
     /// Bounding box (µm) of all placed blocks, or `None` if nothing is placed.
     pub fn bounding_box(&self) -> Option<Rect> {
         Rect::bounding_box(self.placed.iter().map(|p| &p.rect))

@@ -5,12 +5,35 @@
 //! model [14]: two permutations `(s⁺, s⁻)` of the blocks encode the
 //! left-of / below relations, and a longest-path evaluation packs the blocks
 //! into a minimal enclosing rectangle.
+//!
+//! # Packing engines
+//!
+//! Packing is the innermost operation of every optimizer: a single SA run
+//! packs thousands of candidate pairs, and the Table I sweep multiplies that
+//! across methods, circuits and seeds. Two engines are provided:
+//!
+//! * [`SequencePair::pack`] / [`SequencePair::pack_into`] — the **FAST-SP**
+//!   weighted-LCS evaluation ([`crate::lcs_pack`]), O(n log n) per pack via a
+//!   Fenwick prefix-max sweep. `pack_into` reuses a caller-held
+//!   [`PackScratch`] and output buffers, making steady-state packing
+//!   allocation-free.
+//! * [`SequencePair::pack_relaxation`] — the original O(n³) repeated
+//!   relaxation longest-path solver, compiled only for tests or under the
+//!   `legacy-pack` feature. It is retained as a differential-testing oracle
+//!   (`tests/properties.rs` asserts bit-identical positions on random pairs)
+//!   and as the baseline the `pack` criterion bench measures speedups
+//!   against.
+//!
+//! Both engines evaluate the same recurrence
+//! `x[b] = max { x[a] + w[a] : a left of b }` (and the y analogue), so their
+//! results agree bit-for-bit; only the asymptotics differ.
 
 use serde::{Deserialize, Serialize};
 
 use afp_circuit::{BlockId, Circuit, Shape};
 
 use crate::grid::Canvas;
+use crate::lcs_pack::{pack_coords, PackScratch};
 use crate::placement::Floorplan;
 use crate::rect::Rect;
 
@@ -26,7 +49,7 @@ pub struct SequencePair {
 }
 
 /// The packed realization of a sequence pair.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PackedFloorplan {
     /// Lower-left corners per block index, in µm.
     pub positions: Vec<(f64, f64)>,
@@ -60,12 +83,60 @@ impl SequencePair {
         self.shapes.is_empty()
     }
 
-    /// Packs the sequence pair with the standard longest-path evaluation and
+    /// Packs the sequence pair with the FAST-SP O(n log n) evaluation and
     /// returns block positions and the enclosing rectangle dimensions.
     ///
     /// Block `a` is left of block `b` iff `a` precedes `b` in both sequences;
     /// `a` is below `b` iff `a` follows `b` in `s⁺` and precedes it in `s⁻`.
+    ///
+    /// Allocates fresh scratch and output buffers; optimizer inner loops
+    /// should hold a [`PackScratch`] + [`PackedFloorplan`] and call
+    /// [`Self::pack_into`] instead.
     pub fn pack(&self) -> PackedFloorplan {
+        let mut scratch = PackScratch::with_capacity(self.len());
+        let mut out = PackedFloorplan::default();
+        self.pack_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Packs into caller-provided scratch and output buffers; allocation-free
+    /// once the buffers have grown to the problem size.
+    pub fn pack_into(&self, scratch: &mut PackScratch, out: &mut PackedFloorplan) {
+        let n = self.len();
+        let (mut xs, mut ys) = scratch.take_coords();
+        let (width, height) = pack_coords(
+            &self.positive,
+            &self.negative,
+            &self.shapes,
+            scratch,
+            &mut xs,
+            &mut ys,
+        );
+        out.width = width;
+        out.height = height;
+        out.positions.clear();
+        out.positions.reserve(n);
+        out.rects.clear();
+        out.rects.reserve(n);
+        for i in 0..n {
+            out.positions.push((xs[i], ys[i]));
+            out.rects.push(Rect::from_origin_size(
+                xs[i],
+                ys[i],
+                self.shapes[i].width_um,
+                self.shapes[i].height_um,
+            ));
+        }
+        scratch.store_coords(xs, ys);
+    }
+
+    /// Packs with the original O(n³) repeated-relaxation longest-path solver.
+    ///
+    /// Kept as the differential-testing oracle for the FAST-SP engine and as
+    /// the baseline of the `pack` criterion bench; compiled only for tests or
+    /// when the `legacy-pack` feature is enabled.
+    #[cfg(any(test, feature = "legacy-pack"))]
+    pub fn pack_relaxation(&self) -> PackedFloorplan {
         let n = self.len();
         let mut pos_index = vec![0usize; n];
         let mut neg_index = vec![0usize; n];
@@ -78,8 +149,7 @@ impl SequencePair {
         let mut x = vec![0.0f64; n];
         let mut y = vec![0.0f64; n];
         // Longest-path via repeated relaxation in topological-ish order: the
-        // precedence relations are acyclic, so n passes suffice for these
-        // small problem sizes (n ≤ a few dozen blocks).
+        // precedence relations are acyclic, so n passes suffice.
         for _ in 0..n {
             let mut changed = false;
             for a in 0..n {
@@ -133,45 +203,84 @@ impl SequencePair {
     /// not fit the canvas, it is scaled down uniformly first (this mirrors how
     /// a real flow would shrink an over-size baseline floorplan candidate).
     pub fn to_floorplan(&self, circuit: &Circuit, canvas: Canvas) -> Floorplan {
-        let packed = self.pack();
-        let scale_x = if packed.width > canvas.width_um {
-            canvas.width_um / packed.width
-        } else {
-            1.0
-        };
-        let scale_y = if packed.height > canvas.height_um {
-            canvas.height_um / packed.height
-        } else {
-            1.0
-        };
-        let scale = scale_x.min(scale_y);
+        let mut scratch = PackScratch::with_capacity(self.len());
         let mut fp = Floorplan::new(canvas);
-        // Place in increasing x, y order to keep occupancy consistent.
-        let mut order: Vec<usize> = (0..self.len()).collect();
-        order.sort_by(|&a, &b| {
-            (packed.positions[a].1, packed.positions[a].0)
-                .partial_cmp(&(packed.positions[b].1, packed.positions[b].0))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        for i in order {
-            let (px, py) = packed.positions[i];
-            let shape = Shape::new(self.shapes[i].width_um * scale, self.shapes[i].height_um * scale);
-            let cell_x = ((px * scale) / canvas.cell_width_um()).round() as usize;
-            let cell_y = ((py * scale) / canvas.cell_height_um()).round() as usize;
-            let cell = crate::grid::Cell::new(
-                cell_x.min(crate::grid::GRID_SIZE - 1),
-                cell_y.min(crate::grid::GRID_SIZE - 1),
-            );
-            // Grid snapping can create spurious overlaps; scan outward for the
-            // nearest free anchor so every block ends up placed.
-            let (gw, gh) = fp.grid_footprint(&shape);
-            let target = find_nearest_fit(&fp, cell, gw, gh);
-            if let Some(cell) = target {
-                let _ = fp.place(BlockId(circuit.blocks[i].id.index()), 0, shape, cell);
-            }
-        }
+        self.to_floorplan_into(circuit, canvas, &mut scratch, &mut fp);
         fp
     }
+
+    /// [`Self::to_floorplan`] with caller-held buffers: the pack scratch and
+    /// the output floorplan are reused, so a metaheuristic evaluating
+    /// thousands of candidates allocates only inside this call's sort.
+    pub fn to_floorplan_into(
+        &self,
+        circuit: &Circuit,
+        canvas: Canvas,
+        scratch: &mut PackScratch,
+        fp: &mut Floorplan,
+    ) {
+        realize_floorplan(&self.positive, &self.negative, &self.shapes, circuit, canvas, scratch, fp);
+    }
+}
+
+/// Packs `(positive, negative, shapes)` with FAST-SP and realizes the result
+/// on the circuit's canvas, writing into `fp`.
+///
+/// This slice-based entry point lets optimizer hot loops evaluate a candidate
+/// without materializing a [`SequencePair`] (which would clone both sequences
+/// and every shape per evaluation).
+pub fn realize_floorplan(
+    positive: &[usize],
+    negative: &[usize],
+    shapes: &[Shape],
+    circuit: &Circuit,
+    canvas: Canvas,
+    scratch: &mut PackScratch,
+    fp: &mut Floorplan,
+) {
+    let n = shapes.len();
+    let (mut xs, mut ys) = scratch.take_coords();
+    let (width, height) = pack_coords(positive, negative, shapes, scratch, &mut xs, &mut ys);
+    let scale_x = if width > canvas.width_um {
+        canvas.width_um / width
+    } else {
+        1.0
+    };
+    let scale_y = if height > canvas.height_um {
+        canvas.height_um / height
+    } else {
+        1.0
+    };
+    let scale = scale_x.min(scale_y);
+    fp.reset(canvas);
+    // Place in increasing x, y order to keep occupancy consistent.
+    let mut order = scratch.take_order();
+    order.clear();
+    order.extend(0..n);
+    order.sort_by(|&a, &b| {
+        (ys[a], xs[a])
+            .partial_cmp(&(ys[b], xs[b]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for &i in &order {
+        let (px, py) = (xs[i], ys[i]);
+        let shape = Shape::new(shapes[i].width_um * scale, shapes[i].height_um * scale);
+        let cell_x = ((px * scale) / canvas.cell_width_um()).round() as usize;
+        let cell_y = ((py * scale) / canvas.cell_height_um()).round() as usize;
+        let cell = crate::grid::Cell::new(
+            cell_x.min(crate::grid::GRID_SIZE - 1),
+            cell_y.min(crate::grid::GRID_SIZE - 1),
+        );
+        // Grid snapping can create spurious overlaps; scan outward for the
+        // nearest free anchor so every block ends up placed.
+        let (gw, gh) = fp.grid_footprint(&shape);
+        let target = find_nearest_fit(fp, cell, gw, gh);
+        if let Some(cell) = target {
+            let _ = fp.place(BlockId(circuit.blocks[i].id.index()), 0, shape, cell);
+        }
+    }
+    scratch.store_coords(xs, ys);
+    scratch.store_order(order);
 }
 
 /// Scans outward from `start` for the nearest cell where a `gw × gh` footprint
@@ -211,6 +320,9 @@ fn find_nearest_fit(
 mod tests {
     use super::*;
     use afp_circuit::generators;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
 
     fn shapes(n: usize) -> Vec<Shape> {
         (0..n).map(|i| Shape::new(2.0 + i as f64, 3.0)).collect()
@@ -249,6 +361,44 @@ mod tests {
                     "blocks {i} and {j} overlap"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn fast_sp_matches_legacy_relaxation_on_random_pairs() {
+        let mut rng = StdRng::seed_from_u64(0xFA57);
+        for case in 0..100 {
+            let n = rng.gen_range(1usize..24);
+            let block_shapes: Vec<Shape> = (0..n)
+                .map(|_| Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0)))
+                .collect();
+            let mut sp = SequencePair::identity(block_shapes);
+            sp.positive.shuffle(&mut rng);
+            sp.negative.shuffle(&mut rng);
+            let fast = sp.pack();
+            let legacy = sp.pack_relaxation();
+            assert_eq!(fast.positions, legacy.positions, "case {case} positions diverge");
+            assert_eq!(fast.width, legacy.width, "case {case} width diverges");
+            assert_eq!(fast.height, legacy.height, "case {case} height diverges");
+        }
+    }
+
+    #[test]
+    fn pack_into_reuses_buffers_and_matches_pack() {
+        let mut scratch = PackScratch::new();
+        let mut out = PackedFloorplan::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let n = rng.gen_range(2usize..16);
+            let mut sp = SequencePair::identity(
+                (0..n)
+                    .map(|_| Shape::new(rng.gen_range(1.0..9.0), rng.gen_range(1.0..9.0)))
+                    .collect(),
+            );
+            sp.positive.shuffle(&mut rng);
+            sp.negative.shuffle(&mut rng);
+            sp.pack_into(&mut scratch, &mut out);
+            assert_eq!(out, sp.pack());
         }
     }
 

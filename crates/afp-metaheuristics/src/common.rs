@@ -3,10 +3,14 @@
 
 use std::time::Instant;
 
+use rand::seq::SliceRandom;
 use rand::Rng;
 
 use afp_circuit::{shapes::shape_sets, Circuit, Shape, ShapeSet, SHAPES_PER_BLOCK};
-use afp_layout::{metrics, Canvas, Floorplan, RewardWeights, SequencePair, SpacingConfig};
+use afp_layout::metrics::MetricsScratch;
+use afp_layout::{
+    metrics, Canvas, Floorplan, PackScratch, RewardWeights, SequencePair, SpacingConfig,
+};
 
 /// A candidate solution: a sequence pair plus the index of the chosen
 /// candidate shape for every block.
@@ -34,8 +38,8 @@ impl Candidate {
     pub fn random<R: Rng + ?Sized>(num_blocks: usize, rng: &mut R) -> Self {
         let mut positive: Vec<usize> = (0..num_blocks).collect();
         let mut negative: Vec<usize> = (0..num_blocks).collect();
-        shuffle(&mut positive, rng);
-        shuffle(&mut negative, rng);
+        positive.shuffle(rng);
+        negative.shuffle(rng);
         Candidate {
             positive,
             negative,
@@ -48,30 +52,57 @@ impl Candidate {
     /// Applies a random perturbation move in place: swap two blocks in the
     /// positive sequence, in the negative sequence, in both, or change one
     /// block's shape.
-    pub fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+    ///
+    /// Returns an undo token; passing it to [`Candidate::undo`] restores the
+    /// candidate exactly, which lets SA revert a rejected move without
+    /// cloning the whole candidate on every proposal.
+    pub fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PerturbUndo {
         let n = self.positive.len();
         if n < 2 {
-            return;
+            return PerturbUndo::Noop;
         }
         match rng.gen_range(0..4) {
             0 => {
                 let (i, j) = two_distinct(n, rng);
                 self.positive.swap(i, j);
+                PerturbUndo::SwapPositive(i, j)
             }
             1 => {
                 let (i, j) = two_distinct(n, rng);
                 self.negative.swap(i, j);
+                PerturbUndo::SwapNegative(i, j)
             }
             2 => {
                 let (i, j) = two_distinct(n, rng);
                 self.positive.swap(i, j);
-                let (i, j) = two_distinct(n, rng);
-                self.negative.swap(i, j);
+                let (k, l) = two_distinct(n, rng);
+                self.negative.swap(k, l);
+                PerturbUndo::SwapBoth {
+                    positive: (i, j),
+                    negative: (k, l),
+                }
             }
             _ => {
                 let b = rng.gen_range(0..n);
+                let previous = self.shape_choice[b];
                 self.shape_choice[b] = rng.gen_range(0..SHAPES_PER_BLOCK);
+                PerturbUndo::Shape { block: b, previous }
             }
+        }
+    }
+
+    /// Reverts the move recorded by a [`Candidate::perturb`] call. Tokens
+    /// must be applied in reverse order of the moves they record.
+    pub fn undo(&mut self, token: PerturbUndo) {
+        match token {
+            PerturbUndo::Noop => {}
+            PerturbUndo::SwapPositive(i, j) => self.positive.swap(i, j),
+            PerturbUndo::SwapNegative(i, j) => self.negative.swap(i, j),
+            PerturbUndo::SwapBoth { positive, negative } => {
+                self.positive.swap(positive.0, positive.1);
+                self.negative.swap(negative.0, negative.1);
+            }
+            PerturbUndo::Shape { block, previous } => self.shape_choice[block] = previous,
         }
     }
 
@@ -86,11 +117,29 @@ impl Candidate {
     }
 }
 
-fn shuffle<R: Rng + ?Sized, T>(v: &mut [T], rng: &mut R) {
-    for i in (1..v.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        v.swap(i, j);
-    }
+/// The inverse record of one [`Candidate::perturb`] move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PerturbUndo {
+    /// The candidate was too small to perturb; nothing to revert.
+    Noop,
+    /// Swap back positions `(i, j)` of the positive sequence.
+    SwapPositive(usize, usize),
+    /// Swap back positions `(i, j)` of the negative sequence.
+    SwapNegative(usize, usize),
+    /// Swap back one position pair in each sequence.
+    SwapBoth {
+        /// Positions swapped in `s⁺`.
+        positive: (usize, usize),
+        /// Positions swapped in `s⁻`.
+        negative: (usize, usize),
+    },
+    /// Restore a block's previous shape choice.
+    Shape {
+        /// The perturbed block index.
+        block: usize,
+        /// Its shape index before the move.
+        previous: usize,
+    },
 }
 
 fn two_distinct<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
@@ -161,6 +210,24 @@ impl Problem {
         }
     }
 
+    /// The shapes of [`Problem::shapes_for`], written into a caller-held
+    /// buffer instead of a fresh allocation.
+    pub fn shapes_for_into(&self, candidate: &Candidate, out: &mut Vec<Shape>) {
+        out.clear();
+        out.extend(
+            candidate
+                .shape_choice
+                .iter()
+                .enumerate()
+                .map(|(b, &s)| self.shape_sets[b].shape(s)),
+        );
+        if let Some(cfg) = &self.spacing {
+            for (block, shape) in self.circuit.blocks.iter().zip(out.iter_mut()) {
+                *shape = cfg.inflate_shape(&self.circuit, block, shape);
+            }
+        }
+    }
+
     /// Realizes a candidate as a floorplan on the shared canvas.
     pub fn realize(&self, candidate: &Candidate) -> Floorplan {
         let shapes = self.shapes_for(candidate);
@@ -175,6 +242,110 @@ impl Problem {
         let floorplan = self.realize(candidate);
         -metrics::episode_reward(&self.circuit, &floorplan, self.hpwl_min, &self.weights)
     }
+
+    /// [`Problem::cost`] through a [`CostCache`]: identical values, but
+    /// repeated evaluations reuse every buffer (pack scratch, shapes,
+    /// floorplan, HPWL centers) and candidates seen recently — e.g. the
+    /// pre-move state SA returns to after a rejected move, or a GA elite
+    /// carried into the next generation — are answered from the memo without
+    /// re-packing.
+    pub fn cost_cached(&self, candidate: &Candidate, cache: &mut CostCache) -> f64 {
+        let key = candidate_key(candidate);
+        if let Some(cost) = cache.lookup(key) {
+            cache.hits += 1;
+            return cost;
+        }
+        cache.misses += 1;
+        self.shapes_for_into(candidate, &mut cache.shapes);
+        afp_layout::sequence_pair::realize_floorplan(
+            &candidate.positive,
+            &candidate.negative,
+            &cache.shapes,
+            &self.circuit,
+            self.canvas,
+            &mut cache.pack,
+            &mut cache.floorplan,
+        );
+        let cost = -metrics::episode_reward_with(
+            &self.circuit,
+            &cache.floorplan,
+            self.hpwl_min,
+            &self.weights,
+            &mut cache.metrics,
+        );
+        cache.insert(key, cost);
+        cost
+    }
+}
+
+/// Number of direct-mapped memo slots in a [`CostCache`] (power of two).
+const MEMO_SLOTS: usize = 1024;
+
+/// Reusable evaluation state for the metaheuristic inner loops: the FAST-SP
+/// pack scratch, shape / floorplan / metric buffers, and a small
+/// direct-mapped memo keyed on a candidate fingerprint.
+///
+/// One `CostCache` is owned per optimizer run (it is keyed to one
+/// [`Problem`]'s canvas); sharing it across problems would mix canvases.
+#[derive(Debug)]
+pub struct CostCache {
+    pack: PackScratch,
+    metrics: MetricsScratch,
+    floorplan: Floorplan,
+    shapes: Vec<Shape>,
+    /// `(fingerprint, cost)` slots; fingerprint 0 marks an empty slot.
+    memo: Vec<(u64, f64)>,
+    /// Evaluations answered from the memo.
+    pub hits: u64,
+    /// Evaluations that re-packed the candidate.
+    pub misses: u64,
+}
+
+impl CostCache {
+    /// Creates a cache sized for one problem.
+    pub fn new(problem: &Problem) -> Self {
+        let n = problem.num_blocks();
+        CostCache {
+            pack: PackScratch::with_capacity(n),
+            metrics: MetricsScratch::new(),
+            floorplan: Floorplan::new(problem.canvas),
+            shapes: Vec::with_capacity(n),
+            memo: vec![(0, 0.0); MEMO_SLOTS],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn lookup(&self, key: u64) -> Option<f64> {
+        let (tag, cost) = self.memo[(key as usize) & (MEMO_SLOTS - 1)];
+        (tag == key).then_some(cost)
+    }
+
+    fn insert(&mut self, key: u64, cost: f64) {
+        self.memo[(key as usize) & (MEMO_SLOTS - 1)] = (key, cost);
+    }
+}
+
+/// FNV-1a fingerprint of a candidate (sequences + shape choices). Zero is
+/// reserved as the empty-slot sentinel of the memo.
+fn candidate_key(candidate: &Candidate) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |value: u64| {
+        hash ^= value;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for &p in &candidate.positive {
+        eat(p as u64);
+    }
+    eat(u64::MAX); // section separator
+    for &p in &candidate.negative {
+        eat(p as u64);
+    }
+    eat(u64::MAX);
+    for &s in &candidate.shape_choice {
+        eat(s as u64);
+    }
+    hash.max(1)
 }
 
 /// The outcome of one baseline optimization run.
@@ -273,6 +444,47 @@ mod tests {
         let c = Candidate::identity(with.num_blocks(), &with.shape_sets);
         // Inflated shapes should not make the floorplan cheaper.
         assert!(with.cost(&c) >= without.cost(&c) * 0.99);
+    }
+
+    #[test]
+    fn undo_reverts_any_perturbation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut c = Candidate::random(12, &mut rng);
+        let reference = c.clone();
+        for _ in 0..200 {
+            let token = c.perturb(&mut rng);
+            c.undo(token);
+            assert_eq!(c, reference);
+        }
+    }
+
+    #[test]
+    fn cost_cached_matches_cost() {
+        let circuit = generators::ota8();
+        let problem = Problem::new(&circuit);
+        let mut cache = CostCache::new(&problem);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let c = Candidate::random(problem.num_blocks(), &mut rng);
+            let direct = problem.cost(&c);
+            let cached = problem.cost_cached(&c, &mut cache);
+            assert_eq!(direct, cached);
+            // Second lookup is a memo hit with the identical value.
+            assert_eq!(problem.cost_cached(&c, &mut cache), direct);
+        }
+        assert!(cache.hits >= 20, "repeat evaluations should hit the memo");
+        assert!(cache.misses >= 1);
+    }
+
+    #[test]
+    fn shapes_for_into_matches_shapes_for() {
+        let circuit = generators::bias9();
+        let problem = Problem::new(&circuit);
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = Candidate::random(problem.num_blocks(), &mut rng);
+        let mut buffer = Vec::new();
+        problem.shapes_for_into(&c, &mut buffer);
+        assert_eq!(buffer, problem.shapes_for(&c));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, Problem};
+use crate::common::{BaselineResult, Candidate, CostCache, Problem};
 
 /// Genetic-algorithm configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +101,7 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cache = CostCache::new(&problem);
     let n = problem.num_blocks();
 
     let mut population: Vec<Candidate> = (0..config.population)
@@ -112,7 +113,10 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
             }
         })
         .collect();
-    let mut costs: Vec<f64> = population.iter().map(|c| problem.cost(c)).collect();
+    let mut costs: Vec<f64> = population
+        .iter()
+        .map(|c| problem.cost_cached(c, &mut cache))
+        .collect();
     let mut evaluations = population.len();
 
     for _gen in 0..config.generations {
@@ -129,7 +133,7 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
             let parent_b = tournament_select(&population, &costs, config.tournament, &mut rng);
             let mut child = crossover(parent_a, parent_b, &mut rng);
             if rng.gen::<f64>() < config.mutation_rate {
-                child.perturb(&mut rng);
+                let _ = child.perturb(&mut rng);
             }
             if rng.gen::<f64>() < config.mutation_rate / 2.0 {
                 let b = rng.gen_range(0..n);
@@ -138,7 +142,12 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
             next.push(child);
         }
         population = next;
-        costs = population.iter().map(|c| problem.cost(c)).collect();
+        // Elites re-enter here as memo hits: they were scored last
+        // generation, so the cache answers without re-packing.
+        costs = population
+            .iter()
+            .map(|c| problem.cost_cached(c, &mut cache))
+            .collect();
         evaluations += population.len();
     }
 

@@ -37,7 +37,7 @@ mod rl_sa;
 mod sa;
 mod sp_rl;
 
-pub use common::{BaselineResult, Candidate, Problem};
+pub use common::{BaselineResult, Candidate, CostCache, PerturbUndo, Problem};
 pub use ga::{genetic_algorithm, GaConfig};
 pub use pso::{particle_swarm, PsoConfig};
 pub use rl_sa::{rl_sa, RlSaConfig};

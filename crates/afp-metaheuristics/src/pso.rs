@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, Problem};
+use crate::common::{BaselineResult, Candidate, CostCache, Problem};
 
 /// PSO configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -102,6 +102,7 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cache = CostCache::new(&problem);
     let n = problem.num_blocks();
     let dim = 3 * n;
 
@@ -125,7 +126,7 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
     for _ in 0..config.iterations {
         for p in &mut particles {
             let candidate = decode(&p.position, n);
-            let cost = problem.cost(&candidate);
+            let cost = problem.cost_cached(&candidate, &mut cache);
             evaluations += 1;
             if cost < p.best_cost {
                 p.best_cost = cost;

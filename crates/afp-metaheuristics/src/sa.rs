@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::Circuit;
 
-use crate::common::{BaselineResult, Candidate, Problem};
+use crate::common::{BaselineResult, Candidate, CostCache, Problem};
 
 /// Simulated-annealing configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,28 +73,32 @@ pub fn simulated_annealing_on(
 ) -> BaselineResult {
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut cache = CostCache::new(problem);
     let mut current =
         initial.unwrap_or_else(|| Candidate::random(problem.num_blocks(), &mut rng));
-    let mut current_cost = problem.cost(&current);
+    let mut current_cost = problem.cost_cached(&current, &mut cache);
     let mut best = current.clone();
     let mut best_cost = current_cost;
     let mut temperature = config.initial_temperature;
     let mut evaluations = 1;
 
     for step in 0..config.iterations {
-        let mut proposal = current.clone();
-        proposal.perturb(&mut rng);
-        let proposal_cost = problem.cost(&proposal);
+        // Perturb in place and remember the inverse move: a rejected proposal
+        // is reverted with two index swaps instead of cloning the candidate
+        // on every iteration.
+        let undo = current.perturb(&mut rng);
+        let proposal_cost = problem.cost_cached(&current, &mut cache);
         evaluations += 1;
         let delta = proposal_cost - current_cost;
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
         if accept {
-            current = proposal;
             current_cost = proposal_cost;
             if current_cost < best_cost {
-                best = current.clone();
+                best.clone_from(&current);
                 best_cost = current_cost;
             }
+        } else {
+            current.undo(undo);
         }
         if (step + 1) % config.moves_per_temperature == 0 {
             temperature *= config.cooling;

@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, Problem};
+use crate::common::{BaselineResult, Candidate, CostCache, Problem};
 
 /// Number of move types the policy chooses between.
 const NUM_MOVES: usize = 4;
@@ -134,9 +134,10 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = problem.num_blocks();
 
+    let mut cache = CostCache::new(problem);
     let mut logits = vec![0.0f64; NUM_MOVES];
     let mut best = Candidate::identity(n, &problem.shape_sets);
-    let mut best_cost = problem.cost(&best);
+    let mut best_cost = problem.cost_cached(&best, &mut cache);
     let mut evaluations = 1;
     let mut baseline_return = 0.0f64;
 
@@ -146,7 +147,7 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
         } else {
             best.clone()
         };
-        let start_cost = problem.cost(&candidate);
+        let start_cost = problem.cost_cached(&candidate, &mut cache);
         evaluations += 1;
         let mut chosen_moves = Vec::with_capacity(config.moves_per_episode);
         for _ in 0..config.moves_per_episode {
@@ -155,7 +156,7 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
             chosen_moves.push(mv);
             apply_move(&mut candidate, mv, &mut rng);
         }
-        let end_cost = problem.cost(&candidate);
+        let end_cost = problem.cost_cached(&candidate, &mut cache);
         evaluations += 1;
         if end_cost < best_cost {
             best_cost = end_cost;

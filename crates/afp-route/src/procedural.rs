@@ -93,10 +93,19 @@ pub fn complete_layout(
     //    to the track grid.
     let mut conduits = conduits_for_routing(&routing, config.wire_width_um);
     for conduit in &mut conduits {
+        // Snap each conduit to the track grid — but keep the original
+        // geometry when snapping would collapse a short wire to nothing
+        // (tightly packed floorplans legitimately produce sub-pitch wires
+        // between abutting pins, and dropping them would report zero routed
+        // wirelength for a fully connected net).
+        let original = conduit.segment;
         conduit.segment.from.0 = snap(conduit.segment.from.0, config.track_pitch_um);
         conduit.segment.from.1 = snap(conduit.segment.from.1, config.track_pitch_um);
         conduit.segment.to.0 = snap(conduit.segment.to.0, config.track_pitch_um);
         conduit.segment.to.1 = snap(conduit.segment.to.1, config.track_pitch_um);
+        if conduit.length() <= 1e-9 {
+            conduit.segment = original;
+        }
     }
     conduits.retain(|c| c.length() > 1e-9);
     // 3. Channel definition.

@@ -145,7 +145,80 @@ pub fn build_tree(net: NetId, terminals: &[(f64, f64)], grid: &RoutingGrid) -> S
             }
         }
     }
+    // Dense packings can block nearly the whole routing grid: terminals then
+    // escape to almost the same free cell and the maze paths collapse to a
+    // couple of cells, or some terminal cannot be connected at all. Either
+    // way the tree is not a usable global route, so fall back to direct
+    // L-shaped connections along the terminals' Manhattan MST — modelling
+    // over-the-block routing on upper metal layers.
+    let mst = manhattan_mst(terminals);
+    let mst_length: f64 = mst
+        .iter()
+        .map(|&(a, b)| manhattan(terminals[a], terminals[b]))
+        .sum();
+    if !tree.complete || tree.wirelength() + 1e-9 < 0.5 * mst_length {
+        tree.segments.clear();
+        for &(a, b) in &mst {
+            tree.segments.extend(l_route(terminals[a], terminals[b]));
+        }
+        tree.complete = true;
+    }
     tree
+}
+
+/// Manhattan distance between two points.
+fn manhattan(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+}
+
+/// Edges of the Manhattan-distance minimum spanning tree over `points`
+/// (Prim's algorithm; the point sets here are tiny).
+fn manhattan_mst(points: &[(f64, f64)]) -> Vec<(usize, usize)> {
+    let n = points.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_cost = vec![f64::INFINITY; n];
+    let mut best_parent = vec![0usize; n];
+    in_tree[0] = true;
+    for i in 1..n {
+        best_cost[i] = manhattan(points[0], points[i]);
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for _ in 1..n {
+        let next = (0..n)
+            .filter(|&i| !in_tree[i])
+            .min_by(|&a, &b| best_cost[a].partial_cmp(&best_cost[b]).unwrap())
+            .expect("an unconnected point remains");
+        in_tree[next] = true;
+        edges.push((best_parent[next], next));
+        for i in 0..n {
+            if !in_tree[i] {
+                let d = manhattan(points[next], points[i]);
+                if d < best_cost[i] {
+                    best_cost[i] = d;
+                    best_parent[i] = next;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Horizontal-then-vertical rectilinear connection between two points.
+fn l_route(a: (f64, f64), b: (f64, f64)) -> Vec<Segment> {
+    let corner = (b.0, a.1);
+    let mut segments = Vec::with_capacity(2);
+    let horizontal = Segment { from: a, to: corner };
+    if horizontal.length() > 1e-12 {
+        segments.push(horizontal);
+    }
+    let vertical = Segment { from: corner, to: b };
+    if vertical.length() > 1e-12 {
+        segments.push(vertical);
+    }
+    segments
 }
 
 /// Merges a cell path into maximal horizontal / vertical segments in µm.

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the repo's own extended checks.
+#
+#   tier-1:   cargo build --release && cargo test -q
+#   extended: workspace-wide tests and a compile check of every criterion
+#             bench (the perf harness must never rot between perf PRs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace   # superset of tier-1's `cargo test -q`
+cargo bench --no-run
+echo "ci: all checks passed"

@@ -126,3 +126,40 @@ proptest! {
         prop_assert!((h0 - h1).abs() < 1e-6, "HPWL changed under translation: {} vs {}", h0, h1);
     }
 }
+
+proptest! {
+    // 200+ random pairs: the acceptance bar of the FAST-SP packing engine.
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Differential test of the packing engines: the FAST-SP O(n log n) LCS
+    /// evaluation must produce byte-identical positions and enclosing
+    /// dimensions to the legacy O(n³) relaxation oracle (`legacy-pack`
+    /// feature), and the packing must be overlap-free. Block counts go up to
+    /// 64 — beyond every circuit in the paper.
+    #[test]
+    fn fast_sp_packing_matches_legacy_relaxation(
+        dims in prop::collection::vec((0.5f64..30.0, 0.5f64..30.0), 2..65),
+        seed in 0u64..1_000_000
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let shapes: Vec<Shape> = dims.iter().map(|&(w, h)| Shape::new(w, h)).collect();
+        let mut sp = SequencePair::identity(shapes);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        sp.positive.shuffle(&mut rng);
+        sp.negative.shuffle(&mut rng);
+        let fast = sp.pack();
+        let legacy = sp.pack_relaxation();
+        prop_assert_eq!(&fast.positions, &legacy.positions);
+        prop_assert_eq!(fast.width, legacy.width);
+        prop_assert_eq!(fast.height, legacy.height);
+        for i in 0..fast.rects.len() {
+            for j in (i + 1)..fast.rects.len() {
+                prop_assert!(
+                    !fast.rects[i].overlaps(&fast.rects[j]),
+                    "FAST-SP packed blocks {} and {} on top of each other", i, j
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Offline stub of `criterion` (0.5 API subset).
+//!
+//! The container has no registry access, so this crate implements the slice
+//! of the criterion API the workspace benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — on top of plain
+//! `std::time::Instant` timing.
+//!
+//! Methodology: each benchmark is warmed up, an iteration count is calibrated
+//! so one sample takes roughly [`TARGET_SAMPLE`], then `sample_size` samples
+//! are collected and the **median per-iteration time** is reported. That is a
+//! simplification of real criterion (no outlier analysis, no HTML reports)
+//! but is stable enough for the `BENCH_pack.json` perf trajectory this
+//! repository tracks. Results also land in
+//! `target/criterion-stub/<name>.json` so harnesses can scrape them.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget used to calibrate iteration counts.
+pub const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+pub use std::hint::black_box;
+
+/// Entry point handed to the `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, 10, &mut f);
+        self
+    }
+}
+
+/// A named benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.sample_size, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks `f` without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_benchmark(&name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Drives the measured closure: `b.iter(|| work())`.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BencherMode,
+    /// Median nanoseconds per iteration, filled after a measuring run.
+    median_ns: f64,
+}
+
+#[derive(Debug)]
+enum BencherMode {
+    /// Calibration run: execute `iters` iterations once, record elapsed time.
+    Calibrate { iters: u64, elapsed: Duration },
+    /// Measurement run: collect `samples` timed samples of `iters` iterations.
+    Measure {
+        iters: u64,
+        samples: usize,
+        sample_ns: Vec<f64>,
+    },
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match &mut self.mode {
+            BencherMode::Calibrate { iters, elapsed } => {
+                let start = Instant::now();
+                for _ in 0..*iters {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+            BencherMode::Measure {
+                iters,
+                samples,
+                sample_ns,
+            } => {
+                for _ in 0..*samples {
+                    let start = Instant::now();
+                    for _ in 0..*iters {
+                        black_box(routine());
+                    }
+                    let ns = start.elapsed().as_nanos() as f64 / *iters as f64;
+                    sample_ns.push(ns);
+                }
+                sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.median_ns = sample_ns[sample_ns.len() / 2];
+            }
+        }
+    }
+}
+
+/// Calibrates an iteration count, measures, prints and records the median.
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, f: &mut F) {
+    // Calibration: start at 1 iteration and grow until a run is long enough
+    // to trust, capping the total calibration cost.
+    let mut iters = 1u64;
+    let mut per_iter_ns;
+    loop {
+        let mut b = Bencher {
+            mode: BencherMode::Calibrate {
+                iters,
+                elapsed: Duration::ZERO,
+            },
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        let elapsed = match b.mode {
+            BencherMode::Calibrate { elapsed, .. } => elapsed,
+            _ => unreachable!(),
+        };
+        per_iter_ns = elapsed.as_nanos() as f64 / iters as f64;
+        if elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let target_iters = (TARGET_SAMPLE.as_nanos() as f64 / per_iter_ns.max(1.0))
+        .round()
+        .max(1.0) as u64;
+
+    let mut b = Bencher {
+        mode: BencherMode::Measure {
+            iters: target_iters,
+            samples: sample_size,
+            sample_ns: Vec::with_capacity(sample_size),
+        },
+        median_ns: 0.0,
+    };
+    f(&mut b);
+    let median_ns = b.median_ns;
+    println!("bench: {name:<55} median {:>12}/iter", format_ns(median_ns));
+    record(name, median_ns);
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Appends the result to `target/criterion-stub/<sanitized name>.json`.
+fn record(name: &str, median_ns: f64) {
+    let dir = std::path::Path::new("target").join("criterion-stub");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let file: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let body = format!("{{\"name\": \"{name}\", \"median_ns\": {median_ns:.1}}}\n");
+    let _ = std::fs::write(dir.join(format!("{file}.json")), body);
+}
+
+/// Declares a group function running each benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_median() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| black_box(x) * black_box(x))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset of the proptest API used by `tests/properties.rs`:
+//! the [`proptest!`] macro (with an optional inner
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), [`Strategy`] for
+//! numeric ranges / tuples / `prop::collection::vec`, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] assertion macros.
+//!
+//! Unlike real proptest there is **no shrinking**: each test runs its body on
+//! `cases` deterministically seeded random samples and panics on the first
+//! failure, printing the iteration index so a failure is reproducible (the
+//! seed is fixed per test).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates values of `Self::Value` from an RNG.
+///
+/// Mirrors proptest's `Strategy`, with sampling in place of value trees.
+pub trait Strategy {
+    /// Type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4)
+);
+
+/// Run-count configuration, mirroring `proptest::prelude::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! Strategy combinators (only what the workspace needs).
+
+    pub use super::Strategy;
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use super::Strategy;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` surface.
+
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+
+    pub mod prop {
+        //! The `prop::` module alias exposed by the prelude.
+
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*); };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*); };
+}
+
+/// Declares property tests: each function runs its body over `cases`
+/// deterministically seeded samples of its argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs $config; $($rest)*);
+    };
+    (
+        @funcs $config:expr;
+        $(
+            $(#[doc = $doc:expr])*
+            #[test]
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $config;
+                // Seed derived from the test name so properties are
+                // independent and every run is reproducible.
+                let seed = {
+                    let name = stringify!($name);
+                    let mut h = 0xcbf2_9ce4_8422_2325u64;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x1000_0000_01b3);
+                    }
+                    h
+                };
+                let mut rng = <::rand::rngs::StdRng as ::rand::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    $(let $arg = ($strategy).sample(&mut rng);)+
+                    let run = || $body;
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stub: property {} failed at case {}/{} (seed {seed})",
+                            stringify!($name), case + 1, config.cases
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@funcs $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay inside their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, f in -1.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// Vec strategies honour their length range.
+        #[test]
+        fn vec_lengths(v in prop::collection::vec((0.0f64..5.0, 1u32..4), 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            for (f, u) in v {
+                prop_assert!((0.0..5.0).contains(&f));
+                prop_assert!((1..4).contains(&u));
+            }
+        }
+    }
+
+    proptest! {
+        /// The configless form defaults to 256 cases.
+        #[test]
+        fn default_config_form(x in 0u64..5) {
+            prop_assert!(x < 5);
+        }
+    }
+}

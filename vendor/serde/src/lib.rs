@@ -1,0 +1,21 @@
+//! Offline stub of `serde`.
+//!
+//! The container this workspace builds in has no registry access, and nothing
+//! in the workspace performs runtime (de)serialization — the derives exist so
+//! that the public data types carry the usual serde annotations. This stub
+//! provides `Serialize` / `Deserialize` as empty marker traits and re-exports
+//! the matching stub derives from [`serde_derive`].
+//!
+//! Swapping in the real serde later is a one-line change in the workspace
+//! manifest; no source edits are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+///
+/// The real trait is `Deserialize<'de>`; the lifetime is dropped here because
+/// no code in the workspace names it.
+pub trait Deserialize {}

@@ -1,0 +1,117 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace is built in a hermetic container without registry access, so
+//! the real `serde`/`serde_derive` crates cannot be fetched. Nothing in the
+//! workspace actually serializes at runtime — the `#[derive(Serialize,
+//! Deserialize)]` annotations only exist so that downstream users *could* plug
+//! in real serde — so the derives here simply emit empty marker-trait impls.
+//!
+//! The parser is deliberately tiny: it scans the item's tokens for the
+//! `struct` / `enum` keyword, takes the following identifier as the type name,
+//! and captures any generic parameter list so that generic types keep
+//! compiling. `where`-clauses on the type itself are not supported (none of
+//! the workspace types use them).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Serialize")
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, "Deserialize")
+}
+
+fn derive_marker(input: TokenStream, trait_name: &str) -> TokenStream {
+    let (name, generics) = parse_name_and_generics(input);
+    let impl_block = match generics {
+        Some(g) => format!(
+            "impl<{g}> ::serde::{trait_name} for {name}<{g_idents}> {{}}",
+            g = g,
+            g_idents = generic_idents(&g),
+        ),
+        None => format!("impl ::serde::{trait_name} for {name} {{}}"),
+    };
+    impl_block.parse().expect("stub serde derive emitted invalid tokens")
+}
+
+/// Extracts the type name and the raw generic parameter list (without angle
+/// brackets) from a `struct` / `enum` definition.
+fn parse_name_and_generics(input: TokenStream) -> (String, Option<String>) {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    tokens.next();
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected type name after struct/enum, got {:?}", other),
+                };
+                let generics = collect_generics(&mut tokens);
+                return (name, generics);
+            }
+            _ => {}
+        }
+    }
+    panic!("stub serde derive: no struct/enum found in input");
+}
+
+/// If the next token is `<`, collects everything up to the matching `>`.
+fn collect_generics(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Option<String> {
+    match tokens.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return None,
+    }
+    tokens.next();
+    let mut depth = 1usize;
+    let mut out = String::new();
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push_str(&tt.to_string());
+        out.push(' ');
+    }
+    Some(out.trim().to_string())
+}
+
+/// Reduces a generic parameter list to the bare parameter names so they can be
+/// repeated on the implementing type (`T: Clone, 'a` → `T, 'a`). Defaults
+/// (`T = f64`) and bounds are dropped.
+fn generic_idents(generics: &str) -> String {
+    generics
+        .split(',')
+        .map(|param| {
+            let param = param.trim();
+            let head = param
+                .split(|c| c == ':' || c == '=')
+                .next()
+                .unwrap_or(param)
+                .trim();
+            head.to_string()
+        })
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
