@@ -1,20 +1,27 @@
-//! Criterion bench of the sequence-pair packing engines — the perf
-//! trajectory guard for the FAST-SP work.
+//! Criterion bench of the floorplan hot path — the perf trajectory guard.
 //!
-//! Compares the FAST-SP O(n log n) LCS evaluation (`pack_into`, scratch
-//! reuse) against the legacy O(n³) relaxation packer over block counts
-//! spanning the paper's circuits (10–19 blocks) up to the scaling regime the
-//! ROADMAP targets (200 blocks). The acceptance bar of the FAST-SP PR is a
-//! ≥ 10× speedup at n = 100.
+//! Three groups cover the cost-function pipeline end to end:
+//!
+//! * `pack` — the FAST-SP O(n log n) LCS evaluation (`pack_into`, scratch
+//!   reuse) against the legacy O(n³) relaxation packer, over block counts
+//!   spanning the paper's circuits (10–19 blocks) up to the scaling regime
+//!   the ROADMAP targets (200 blocks). The FAST-SP PR's acceptance bar was a
+//!   ≥ 10× speedup at n = 100.
+//! * `snap` — full grid realization (`realize_floorplan`: pack + scale +
+//!   snap + bitboard nearest-fit placement), the stage that dominated SA
+//!   cost evaluations after packing got fast.
+//! * `masks` — positional-mask (`f_p`) construction from the free-anchor
+//!   bitmask, the per-step cost of the RL env and mask-dataset builds.
 //!
 //! Run with `cargo bench --bench pack`; `bench_snapshot` records the same
-//! measurements into `BENCH_pack.json` for cross-PR comparison.
+//! workloads into `BENCH_pack.json` for cross-PR comparison.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use afp_bench::perf::{random_pair, PACK_SIZES};
-use afp_layout::sequence_pair::PackedFloorplan;
-use afp_layout::PackScratch;
+use afp_bench::perf::{masks_workload, random_pair, snap_workload, PACK_SIZES};
+use afp_layout::masks::positional_masks;
+use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
+use afp_layout::{Floorplan, PackScratch};
 
 fn bench_pack(c: &mut Criterion) {
     let mut group = c.benchmark_group("pack");
@@ -35,5 +42,39 @@ fn bench_pack(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pack);
+fn bench_snap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snap");
+    group.sample_size(20);
+    for n in PACK_SIZES {
+        let (circuit, canvas, sp) = snap_workload(n, 0xBEEF ^ n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::new(canvas);
+        group.bench_with_input(BenchmarkId::new("realize_floorplan", n), &sp, |b, sp| {
+            b.iter(|| {
+                realize_floorplan(
+                    &sp.positive,
+                    &sp.negative,
+                    &sp.shapes,
+                    &circuit,
+                    canvas,
+                    &mut scratch,
+                    &mut fp,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_masks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("masks");
+    group.sample_size(20);
+    let (circuit, fp, block, shapes) = masks_workload();
+    group.bench_function("positional_masks_bias19", |b| {
+        b.iter(|| positional_masks(&circuit, &fp, block, &shapes))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pack, bench_snap, bench_masks);
 criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Reproducible perf snapshot: writes `BENCH_pack.json` with the packing
-//! engines' median times and the SA evaluation throughput, so every PR that
+//! engines' median times, the grid-realization (`snap`) and positional-mask
+//! (`masks`) medians, and the SA evaluation throughput, so every PR that
 //! touches the hot path has a trajectory to compare against.
 //!
 //! Usage: `cargo run --release -p afp-bench --bin bench_snapshot`
@@ -8,14 +9,15 @@
 
 use std::time::Instant;
 
-use afp_bench::perf::{median_ns, random_pair, PACK_SIZES};
+use afp_bench::perf::{masks_workload, median_ns, random_pair, snap_workload, PACK_SIZES};
 use afp_circuit::generators;
-use afp_layout::sequence_pair::PackedFloorplan;
-use afp_layout::PackScratch;
+use afp_layout::masks::positional_masks;
+use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
+use afp_layout::{Floorplan, PackScratch};
 use afp_metaheuristics::{simulated_annealing, SaConfig};
 
 fn main() {
-    let mut rows = Vec::new();
+    let mut pack_rows = Vec::new();
     for &n in &PACK_SIZES {
         let sp = random_pair(n, 0xBEEF ^ n as u64);
         let mut scratch = PackScratch::with_capacity(n);
@@ -28,10 +30,42 @@ fn main() {
         println!(
             "pack n={n:>3}: fast_sp {fast_ns:>12.1} ns  legacy {legacy_ns:>14.1} ns  speedup {speedup:>8.1}x"
         );
-        rows.push(format!(
+        pack_rows.push(format!(
             "    {{\"blocks\": {n}, \"fast_sp_ns\": {fast_ns:.1}, \"legacy_relaxation_ns\": {legacy_ns:.1}, \"speedup\": {speedup:.2}}}"
         ));
     }
+
+    // Grid realization (pack + scale + snap + bitboard nearest-fit): the
+    // stage the BitGrid engine targets.
+    let mut snap_rows = Vec::new();
+    for &n in &PACK_SIZES {
+        let (circuit, canvas, sp) = snap_workload(n, 0xBEEF ^ n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::new(canvas);
+        let snap_ns = median_ns(|| {
+            realize_floorplan(
+                &sp.positive,
+                &sp.negative,
+                &sp.shapes,
+                &circuit,
+                canvas,
+                &mut scratch,
+                &mut fp,
+            )
+        });
+        println!("snap n={n:>3}: realize_floorplan {snap_ns:>12.1} ns");
+        snap_rows.push(format!(
+            "    {{\"blocks\": {n}, \"realize_floorplan_ns\": {snap_ns:.1}}}"
+        ));
+    }
+
+    // Positional-mask (f_p) construction from the free-anchor bitmask — the
+    // per-step cost of the RL env and mask-dataset builds.
+    let (mcircuit, mfp, mblock, mshapes) = masks_workload();
+    let masks_ns = median_ns(|| {
+        let _ = positional_masks(&mcircuit, &mfp, mblock, &mshapes);
+    });
+    println!("masks bias19: positional_masks {masks_ns:>12.1} ns");
 
     // SA throughput on the largest paper circuit (Bias-2, 19 blocks): full
     // cost evaluations (pack + grid realization + reward) per second.
@@ -46,10 +80,12 @@ fn main() {
         result.evaluations, result.reward
     );
 
-    let json = format!
-        (
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation sequence-pair packing; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
-        rows.join(",\n"),
+    let json = format!(
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization and positional masks; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        pack_rows.join(",\n"),
+        snap_rows.join(",\n"),
+        mcircuit.name,
+        masks_ns,
         circuit.name,
         circuit.num_blocks(),
         config.iterations,

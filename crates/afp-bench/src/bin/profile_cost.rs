@@ -1,0 +1,68 @@
+//! Ad-hoc profile of the SA cost-evaluation pipeline on Bias-2 (19 blocks):
+//! breaks one `cost_cached` evaluation into its stages so hot-path PRs can
+//! see where the next order of magnitude lives.
+//!
+//! Usage: `cargo run --release -p afp-bench --bin profile_cost`
+
+use afp_bench::perf::median_ns;
+use afp_circuit::generators;
+use afp_layout::sequence_pair::realize_floorplan;
+use afp_layout::{metrics, Canvas, Floorplan, PackScratch, RewardWeights};
+use afp_metaheuristics::{Candidate, CostCache, Problem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let circuit = generators::bias19();
+    let problem = Problem::new(&circuit);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut candidate = Candidate::random(problem.num_blocks(), &mut rng);
+    let mut cache = CostCache::new(&problem);
+
+    let full_ns = median_ns(|| {
+        // Perturb like SA does, so the memo misses realistically.
+        let _ = candidate.perturb(&mut rng);
+        let _ = problem.cost_cached(&candidate, &mut cache);
+    });
+    println!("perturb + cost_cached:      {full_ns:>10.1} ns");
+
+    let shapes = problem.shapes_for(&candidate);
+    let sp = candidate.to_sequence_pair(&shapes);
+    let canvas = Canvas::for_circuit(&circuit);
+    let mut scratch = PackScratch::with_capacity(problem.num_blocks());
+    let mut fp = Floorplan::new(canvas);
+    let realize_ns = median_ns(|| {
+        realize_floorplan(
+            &sp.positive,
+            &sp.negative,
+            &sp.shapes,
+            &circuit,
+            canvas,
+            &mut scratch,
+            &mut fp,
+        )
+    });
+    println!("  realize_floorplan:        {realize_ns:>10.1} ns");
+
+    let shapes_ns = median_ns(|| {
+        let _ = problem.shapes_for(&candidate);
+    });
+    println!("  shapes_for (alloc):       {shapes_ns:>10.1} ns");
+
+    let hpwl_min = metrics::hpwl_lower_bound(&circuit);
+    let weights = RewardWeights::default();
+    let reward_ns = median_ns(|| {
+        let _ = metrics::episode_reward(&circuit, &fp, hpwl_min, &weights);
+    });
+    println!("  episode_reward (alloc):   {reward_ns:>10.1} ns");
+
+    let hpwl_ns = median_ns(|| {
+        let _ = metrics::hpwl(&circuit, &fp);
+    });
+    println!("    hpwl (alloc):           {hpwl_ns:>10.1} ns");
+
+    let violations_ns = median_ns(|| {
+        let _ = afp_layout::constraints::count_violations(&circuit, &fp);
+    });
+    println!("    count_violations:       {violations_ns:>10.1} ns");
+}

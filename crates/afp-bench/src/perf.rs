@@ -4,8 +4,8 @@
 
 use std::time::Instant;
 
-use afp_circuit::Shape;
-use afp_layout::SequencePair;
+use afp_circuit::{generators, BlockId, BlockKind, Circuit, NetClass, Shape, ShapeSet};
+use afp_layout::{Canvas, Cell, Floorplan, SequencePair, GRID_SIZE};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -24,6 +24,69 @@ pub fn random_pair(n: usize, seed: u64) -> SequencePair {
     sp.positive.shuffle(&mut rng);
     sp.negative.shuffle(&mut rng);
     sp
+}
+
+/// Deterministic synthetic circuit with exactly `n` blocks (chained by
+/// two-pin nets), for workloads that need block counts beyond the paper's
+/// 19-block ceiling — e.g. the `snap` (grid realization) bench.
+pub fn synthetic_circuit(n: usize) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(0x51AB ^ n as u64);
+    let names: Vec<String> = (0..n).map(|i| format!("B{i}")).collect();
+    let mut builder = Circuit::builder(format!("synthetic-{n}"));
+    for name in &names {
+        builder = builder.block(
+            name,
+            BlockKind::CurrentMirror,
+            rng.gen_range(4.0..64.0),
+            3,
+        );
+    }
+    for w in names.windows(2) {
+        builder = builder.net(
+            &format!("n_{}_{}", &w[0], &w[1]),
+            &[(w[0].as_str(), "d"), (w[1].as_str(), "s")],
+            NetClass::Signal,
+        );
+    }
+    builder.build().expect("synthetic circuit is valid")
+}
+
+/// The grid-realization workload of the `snap` bench / snapshot: a synthetic
+/// `n`-block circuit, its canvas and a deterministic random sequence pair.
+pub fn snap_workload(n: usize, seed: u64) -> (Circuit, Canvas, SequencePair) {
+    let circuit = synthetic_circuit(n);
+    let canvas = Canvas::for_circuit(&circuit);
+    (circuit, canvas, random_pair(n, seed))
+}
+
+/// The positional-mask workload of the `masks` bench / snapshot: the largest
+/// paper circuit (Bias-2, 19 blocks) with the first half of its blocks
+/// placed in rows, plus the next pending block and its candidate shapes —
+/// the state an RL env step or mask-dataset build sees mid-episode.
+pub fn masks_workload() -> (Circuit, Floorplan, BlockId, ShapeSet) {
+    let circuit = generators::bias19();
+    let canvas = Canvas::for_circuit(&circuit);
+    let sets = afp_circuit::shapes::shape_sets(&circuit);
+    let order = circuit.blocks_by_decreasing_area();
+    let mut fp = Floorplan::new(canvas);
+    let (mut x, mut y, mut row_h) = (0usize, 0usize, 0usize);
+    for &id in order.iter().take(order.len() / 2) {
+        let set = &sets[id.index()];
+        let shape = set.shape(set.most_square());
+        let (gw, gh) = fp.grid_footprint(&shape);
+        if x + gw > GRID_SIZE {
+            x = 0;
+            y += row_h + 1;
+            row_h = 0;
+        }
+        fp.place(id, set.most_square(), shape, Cell::new(x, y))
+            .expect("row placement fits");
+        x += gw + 1;
+        row_h = row_h.max(gh);
+    }
+    let block = order[order.len() / 2];
+    let shapes = sets[block.index()];
+    (circuit, fp, block, shapes)
 }
 
 /// Median nanoseconds per call of `f`: calibrates a batch size targeting

@@ -88,14 +88,12 @@ pub fn greedy_floorplan(circuit: &Circuit) -> Floorplan {
             // violation is reflected in the reward label.
             let shape = shapes.shape(shapes.most_square());
             let (gw, gh) = floorplan.grid_footprint(&shape);
-            'outer: for y in 0..GRID_SIZE {
-                for x in 0..GRID_SIZE {
-                    let cell = Cell::new(x, y);
-                    if floorplan.fits(cell, gw, gh) {
-                        best = Some((f64::MAX, shapes.most_square(), cell));
-                        break 'outer;
-                    }
-                }
+            // One bitboard anchor pass; the first set bit in row-major order
+            // is the same cell the old per-cell fits scan found.
+            let anchors = floorplan.grid().free_anchors(gw, gh);
+            if let Some((y, &row)) = anchors.iter().enumerate().find(|(_, &r)| r != 0) {
+                let cell = Cell::new(row.trailing_zeros() as usize, y);
+                best = Some((f64::MAX, shapes.most_square(), cell));
             }
         }
         if let Some((_, shape_idx, cell)) = best {

@@ -1,0 +1,344 @@
+//! Bitboard occupancy for the fixed 32×32 placement grid.
+//!
+//! The paper's discretization (§IV-D1) fixes the grid at [`GRID_SIZE`]` = 32`
+//! cells per side, which makes one grid row exactly one `u32`: bit `x` of
+//! [`BitGrid::row`]`(y)` is 1 iff cell `(x, y)` is occupied. Every occupancy
+//! query the floorplan hot path performs then collapses to a handful of
+//! word-level operations — the same representation chess engines use for move
+//! generation:
+//!
+//! * **Footprint probe** ([`BitGrid::fits`]): a `gw`-wide footprint anchored
+//!   at `x` covers the row mask `((1 << gw) - 1) << x`; the footprint fits iff
+//!   that mask ANDs to zero against each of the `gh` covered rows — `gh` word
+//!   ops instead of `gw × gh` cell probes.
+//! * **Occupy / free** ([`BitGrid::try_occupy`], [`BitGrid::clear_rect`]):
+//!   OR / AND-NOT of the same mask, with bounds + overlap checked from the
+//!   very mask that is then written — a single pass, no per-cell walk.
+//! * **Free-anchor map** ([`BitGrid::free_anchors`]): for every cell at once,
+//!   "does a `gw × gh` footprint anchored here fit?". Horizontally, the
+//!   classic run-of-`k` shift-AND doubling trick: starting from the free mask
+//!   `m = !row`, repeatedly `m &= m >> s` with doubling step `s` builds, in
+//!   ⌈log₂ gw⌉ steps, the mask of positions where `gw` consecutive free bits
+//!   begin (anchors whose run would cross the right edge fall out naturally
+//!   because the shift pulls in zeros). Vertically, the same doubling ANDs
+//!   `gh` consecutive rows in ⌈log₂ gh⌉ passes. Total cost: O(32 · log) word
+//!   ops per footprint, replacing up to `32² · gw · gh` cell probes.
+//!
+//! The anchor map is what the grid-realization snap search
+//! ([`crate::sequence_pair::find_nearest_fit`]) and the RL positional masks
+//! `f_p` ([`crate::masks::positional_mask`], paper §IV-D2 after MaskPlace [4])
+//! are built from.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{Cell, GRID_SIZE};
+
+/// Why a footprint cannot be occupied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupyError {
+    /// The footprint extends past the 32×32 grid boundary.
+    OutOfBounds,
+    /// The footprint overlaps occupied cells.
+    Overlap,
+}
+
+/// Row-mask bitboard over the fixed `GRID_SIZE × GRID_SIZE` placement grid.
+///
+/// `rows[y]` holds row `y`; bit `x` (LSB = column 0) is 1 iff cell `(x, y)`
+/// is occupied. See the module docs for the word-level algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitGrid {
+    rows: [u32; GRID_SIZE],
+}
+
+impl Default for BitGrid {
+    fn default() -> Self {
+        BitGrid::new()
+    }
+}
+
+impl BitGrid {
+    /// An empty grid.
+    pub const fn new() -> Self {
+        BitGrid {
+            rows: [0; GRID_SIZE],
+        }
+    }
+
+    /// The mask a `gw`-cell-wide footprint anchored at column `x` covers
+    /// within one row. Requires `gw ≥ 1` and `x + gw ≤ 32` (the `u64`
+    /// intermediate keeps `gw = 32` well-defined).
+    #[inline]
+    fn row_mask(x: usize, gw: usize) -> u32 {
+        debug_assert!(gw >= 1 && x + gw <= GRID_SIZE);
+        (((1u64 << gw) - 1) as u32) << x
+    }
+
+    /// Bit mask of row `y`.
+    #[inline]
+    pub fn row(&self, y: usize) -> u32 {
+        self.rows[y]
+    }
+
+    /// All 32 row masks, bottom row first.
+    #[inline]
+    pub fn rows(&self) -> &[u32; GRID_SIZE] {
+        &self.rows
+    }
+
+    /// Returns `true` if the cell is occupied. `cell` must be on the grid.
+    #[inline]
+    pub fn get(&self, cell: Cell) -> bool {
+        (self.rows[cell.y] >> cell.x) & 1 == 1
+    }
+
+    /// Clears every cell.
+    pub fn clear(&mut self) {
+        self.rows = [0; GRID_SIZE];
+    }
+
+    /// Number of occupied cells.
+    pub fn count_occupied(&self) -> usize {
+        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if a `gw × gh` footprint anchored at `cell` stays on
+    /// the grid and overlaps no occupied cell: `gh` shift-AND row probes.
+    #[inline]
+    pub fn fits(&self, cell: Cell, gw: usize, gh: usize) -> bool {
+        if cell.x + gw > GRID_SIZE || cell.y + gh > GRID_SIZE {
+            return false;
+        }
+        let mask = Self::row_mask(cell.x, gw);
+        self.rows[cell.y..cell.y + gh].iter().all(|&r| r & mask == 0)
+    }
+
+    /// Checks bounds and overlap and occupies the footprint, reusing the one
+    /// row mask for both the probe and the write — the single-pass
+    /// replacement for the bounds → `fits` → set-bits triple walk.
+    pub fn try_occupy(&mut self, cell: Cell, gw: usize, gh: usize) -> Result<(), OccupyError> {
+        if cell.x + gw > GRID_SIZE || cell.y + gh > GRID_SIZE {
+            return Err(OccupyError::OutOfBounds);
+        }
+        let mask = Self::row_mask(cell.x, gw);
+        let rows = &mut self.rows[cell.y..cell.y + gh];
+        if rows.iter().any(|&r| r & mask != 0) {
+            return Err(OccupyError::Overlap);
+        }
+        for r in rows {
+            *r |= mask;
+        }
+        Ok(())
+    }
+
+    /// Occupies the footprint unconditionally (bounds must hold).
+    pub fn set_rect(&mut self, cell: Cell, gw: usize, gh: usize) {
+        let mask = Self::row_mask(cell.x, gw);
+        for r in &mut self.rows[cell.y..cell.y + gh] {
+            *r |= mask;
+        }
+    }
+
+    /// Frees the footprint (AND-NOT of the row mask; bounds must hold).
+    pub fn clear_rect(&mut self, cell: Cell, gw: usize, gh: usize) {
+        let mask = Self::row_mask(cell.x, gw);
+        for r in &mut self.rows[cell.y..cell.y + gh] {
+            *r &= !mask;
+        }
+    }
+
+    /// The free-anchor map for a `gw × gh` footprint: bit `x` of entry `y` is
+    /// 1 iff [`BitGrid::fits`]`(Cell::new(x, y), gw, gh)` — computed for all
+    /// 1024 cells at once with the run-of-`gw` shift-AND doubling trick
+    /// horizontally and the same doubling over rows vertically (module docs).
+    pub fn free_anchors(&self, gw: usize, gh: usize) -> [u32; GRID_SIZE] {
+        let mut anchors = [0u32; GRID_SIZE];
+        if gw == 0 || gh == 0 || gw > GRID_SIZE || gh > GRID_SIZE {
+            return anchors;
+        }
+        // Horizontal pass: bit x survives iff bits x .. x+gw-1 are all free.
+        // Right-edge anchors die because `>>` shifts zeros in from the top.
+        for (anchor, &row) in anchors.iter_mut().zip(&self.rows) {
+            let mut m = !row;
+            let mut run = 1usize;
+            while run < gw {
+                let step = run.min(gw - run);
+                m &= m >> step;
+                run += step;
+            }
+            *anchor = m;
+        }
+        // Vertical pass: AND rows y .. y+gh-1 by doubling. Ascending `y`
+        // reads `anchors[y + step]` before this round overwrites it, so each
+        // round combines two runs of the previous round's length; rows whose
+        // footprint would cross the top edge collapse to 0.
+        let mut run = 1usize;
+        while run < gh {
+            let step = run.min(gh - run);
+            for y in 0..GRID_SIZE {
+                anchors[y] &= if y + step < GRID_SIZE {
+                    anchors[y + step]
+                } else {
+                    0
+                };
+            }
+            run += step;
+        }
+        anchors
+    }
+}
+
+/// Finds, in a free-anchor map, the set anchor nearest to `start` under the
+/// search order of the historical spiral scan: Chebyshev radius ascending,
+/// then `Δy` from `-r` to `r`, then `Δx` ascending — so placements stay
+/// bit-identical to the scalar path. Rows on the ring interior contribute
+/// only `Δx = ±r`; the two boundary rows take the lowest set bit of their
+/// `[x−r, x+r]` window via a trailing-zeros scan.
+pub fn nearest_anchor(anchors: &[u32; GRID_SIZE], start: Cell) -> Option<Cell> {
+    if (anchors[start.y] >> start.x) & 1 == 1 {
+        return Some(start);
+    }
+    for radius in 1..GRID_SIZE as isize {
+        for dy in -radius..=radius {
+            let y = start.y as isize + dy;
+            if !(0..GRID_SIZE as isize).contains(&y) {
+                continue;
+            }
+            let row = anchors[y as usize];
+            if row == 0 {
+                continue;
+            }
+            if dy.abs() == radius {
+                // Full ring edge: lowest set bit in the clamped window
+                // [x - r, x + r] is the smallest admissible Δx.
+                let lo = (start.x as isize - radius).max(0) as usize;
+                let hi = (start.x as isize + radius).min(GRID_SIZE as isize - 1) as usize;
+                let window = BitGrid::row_mask(lo, hi - lo + 1);
+                let hits = row & window;
+                if hits != 0 {
+                    return Some(Cell::new(hits.trailing_zeros() as usize, y as usize));
+                }
+            } else {
+                // Ring side: only Δx = −r then Δx = +r are on the ring.
+                let left = start.x as isize - radius;
+                if left >= 0 && (row >> left) & 1 == 1 {
+                    return Some(Cell::new(left as usize, y as usize));
+                }
+                let right = start.x as isize + radius;
+                if right < GRID_SIZE as isize && (row >> right) & 1 == 1 {
+                    return Some(Cell::new(right as usize, y as usize));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar oracle for `fits`.
+    fn fits_scalar(g: &BitGrid, cell: Cell, gw: usize, gh: usize) -> bool {
+        if cell.x + gw > GRID_SIZE || cell.y + gh > GRID_SIZE {
+            return false;
+        }
+        (0..gh).all(|dy| (0..gw).all(|dx| !g.get(Cell::new(cell.x + dx, cell.y + dy))))
+    }
+
+    #[test]
+    fn empty_grid_fits_everywhere_in_bounds() {
+        let g = BitGrid::new();
+        assert!(g.fits(Cell::new(0, 0), 32, 32));
+        assert!(g.fits(Cell::new(31, 31), 1, 1));
+        assert!(!g.fits(Cell::new(31, 31), 2, 1));
+        assert!(!g.fits(Cell::new(0, 30), 1, 3));
+        assert_eq!(g.count_occupied(), 0);
+    }
+
+    #[test]
+    fn occupy_clear_roundtrip() {
+        let mut g = BitGrid::new();
+        g.try_occupy(Cell::new(3, 5), 4, 2).unwrap();
+        assert_eq!(g.count_occupied(), 8);
+        assert!(g.get(Cell::new(3, 5)));
+        assert!(g.get(Cell::new(6, 6)));
+        assert!(!g.get(Cell::new(7, 5)));
+        assert_eq!(
+            g.try_occupy(Cell::new(6, 6), 2, 2),
+            Err(OccupyError::Overlap)
+        );
+        assert_eq!(
+            g.try_occupy(Cell::new(30, 0), 3, 1),
+            Err(OccupyError::OutOfBounds)
+        );
+        g.clear_rect(Cell::new(3, 5), 4, 2);
+        assert_eq!(g, BitGrid::new());
+    }
+
+    #[test]
+    fn failed_occupy_leaves_grid_unchanged() {
+        let mut g = BitGrid::new();
+        g.set_rect(Cell::new(10, 10), 2, 2);
+        let before = g;
+        assert!(g.try_occupy(Cell::new(9, 9), 3, 3).is_err());
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn free_anchors_match_fits_for_every_cell_and_footprint() {
+        let mut g = BitGrid::new();
+        g.set_rect(Cell::new(0, 0), 7, 3);
+        g.set_rect(Cell::new(20, 12), 5, 9);
+        g.set_rect(Cell::new(9, 28), 12, 4);
+        g.set_rect(Cell::new(31, 0), 1, 32);
+        for &(gw, gh) in &[(1, 1), (2, 5), (5, 2), (7, 7), (32, 1), (1, 32), (32, 32)] {
+            let anchors = g.free_anchors(gw, gh);
+            for y in 0..GRID_SIZE {
+                for x in 0..GRID_SIZE {
+                    let cell = Cell::new(x, y);
+                    let expected = fits_scalar(&g, cell, gw, gh);
+                    assert_eq!(g.fits(cell, gw, gh), expected, "fits {gw}x{gh} at {x},{y}");
+                    assert_eq!(
+                        (anchors[y] >> x) & 1 == 1,
+                        expected,
+                        "anchor {gw}x{gh} at {x},{y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_footprints_have_no_anchors() {
+        let g = BitGrid::new();
+        assert_eq!(g.free_anchors(0, 1), [0; GRID_SIZE]);
+        assert_eq!(g.free_anchors(33, 1), [0; GRID_SIZE]);
+    }
+
+    #[test]
+    fn nearest_anchor_prefers_start_then_ring_order() {
+        let mut g = BitGrid::new();
+        // Block the start cell; nearest free anchors ring around it.
+        g.set_rect(Cell::new(10, 10), 1, 1);
+        let anchors = g.free_anchors(1, 1);
+        assert_eq!(
+            nearest_anchor(&anchors, Cell::new(10, 10)),
+            // radius 1, dy = -1 row first, lowest x in window [9, 11].
+            Some(Cell::new(9, 9))
+        );
+        assert_eq!(
+            nearest_anchor(&anchors, Cell::new(4, 4)),
+            Some(Cell::new(4, 4))
+        );
+    }
+
+    #[test]
+    fn nearest_anchor_exhausted_grid_is_none() {
+        let mut g = BitGrid::new();
+        g.set_rect(Cell::new(0, 0), 32, 32);
+        let anchors = g.free_anchors(1, 1);
+        assert_eq!(nearest_anchor(&anchors, Cell::new(16, 16)), None);
+        assert_eq!(anchors, [0; GRID_SIZE]);
+    }
+}

@@ -3,6 +3,8 @@
 //! Everything geometric that the floorplanning methods share:
 //!
 //! * the 32×32 placement [`grid`] and continuous [`Canvas`] (paper §IV-D1),
+//! * the [`bitgrid`] occupancy bitboard (one `u32` row mask per grid row)
+//!   behind every footprint query, snap search and positional mask,
 //! * the incremental [`Floorplan`] state with overlap-free placement,
 //! * [`metrics`]: HPWL (Eq. 3), dead space, the intermediate reward (Eq. 4)
 //!   and the episode reward (Eq. 5),
@@ -38,6 +40,7 @@ mod grid;
 mod placement;
 mod rect;
 
+pub mod bitgrid;
 pub mod constraints;
 pub mod export;
 pub mod lcs_pack;
@@ -46,6 +49,7 @@ pub mod metrics;
 pub mod sequence_pair;
 pub mod spacing;
 
+pub use bitgrid::BitGrid;
 pub use grid::{Canvas, Cell, DEFAULT_MAX_ASPECT_RATIO, GRID_SIZE};
 pub use lcs_pack::PackScratch;
 pub use masks::{Mask, StateMasks, STATE_CHANNELS};

@@ -29,14 +29,19 @@ pub const STATE_CHANNELS: usize = 3 + SHAPES_PER_BLOCK;
 /// The binary grid view `f_g`: 1 where a cell is occupied.
 pub fn grid_view(floorplan: &Floorplan) -> Mask {
     floorplan
-        .occupancy()
-        .iter()
-        .map(|&o| if o { 1.0 } else { 0.0 })
+        .occupancy_cells()
+        .map(|o| if o { 1.0 } else { 0.0 })
         .collect()
 }
 
 /// The positional mask for one candidate shape: 1 where the footprint fits
 /// without overlap *and* the constraint mask allows it.
+///
+/// The fit side comes from one
+/// [`BitGrid::free_anchors`](crate::bitgrid::BitGrid::free_anchors) pass —
+/// a run-of-`gw` shift-AND over 32 row words instead of 1024 per-cell
+/// footprint probes — and only the set anchor bits are checked against the
+/// constraint mask.
 pub fn positional_mask(
     circuit: &Circuit,
     floorplan: &Floorplan,
@@ -45,11 +50,26 @@ pub fn positional_mask(
 ) -> Mask {
     let (gw, gh) = floorplan.grid_footprint(shape);
     let constraints = constraint_mask(circuit, floorplan, block, gw, gh);
+    anchors_into_mask(floorplan, gw, gh, &constraints)
+}
+
+/// ANDs the free-anchor bitmask of a `gw × gh` footprint with a constraint
+/// mask, producing the positional mask.
+fn anchors_into_mask(
+    floorplan: &Floorplan,
+    gw: usize,
+    gh: usize,
+    constraints: &[f32],
+) -> Mask {
+    let anchors = floorplan.grid().free_anchors(gw, gh);
     let mut mask = vec![0.0f32; GRID_SIZE * GRID_SIZE];
-    for y in 0..GRID_SIZE {
-        for x in 0..GRID_SIZE {
+    for (y, &row) in anchors.iter().enumerate() {
+        let mut bits = row;
+        while bits != 0 {
+            let x = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let idx = y * GRID_SIZE + x;
-            if constraints[idx] == 1.0 && floorplan.fits(Cell::new(x, y), gw, gh) {
+            if constraints[idx] == 1.0 {
                 mask[idx] = 1.0;
             }
         }
@@ -58,17 +78,27 @@ pub fn positional_mask(
 }
 
 /// The three positional masks `f_p`, one per candidate shape.
+///
+/// Candidate shapes that quantize to the same grid footprint produce
+/// identical masks (the constraint mask depends only on the footprint), so
+/// the anchor/constraint pass runs once per distinct footprint.
 pub fn positional_masks(
     circuit: &Circuit,
     floorplan: &Floorplan,
     block: BlockId,
     shapes: &ShapeSet,
 ) -> [Mask; SHAPES_PER_BLOCK] {
-    [
-        positional_mask(circuit, floorplan, block, &shapes.shape(0)),
-        positional_mask(circuit, floorplan, block, &shapes.shape(1)),
-        positional_mask(circuit, floorplan, block, &shapes.shape(2)),
-    ]
+    let mut footprints = [(0usize, 0usize); SHAPES_PER_BLOCK];
+    let mut masks: [Option<Mask>; SHAPES_PER_BLOCK] = Default::default();
+    for k in 0..SHAPES_PER_BLOCK {
+        footprints[k] = floorplan.grid_footprint(&shapes.shape(k));
+        let duplicate_of = (0..k).find(|&j| footprints[j] == footprints[k]);
+        masks[k] = Some(match duplicate_of {
+            Some(j) => masks[j].clone().expect("earlier mask is built"),
+            None => positional_mask(circuit, floorplan, block, &shapes.shape(k)),
+        });
+    }
+    masks.map(|m| m.expect("all masks are built"))
 }
 
 /// The wire mask `f_w`: for every admissible cell, the increase in HPWL that
@@ -113,12 +143,15 @@ where
     let mut scratch = floorplan.clone();
     let mut min_delta = f64::MAX;
     let mut max_delta = f64::MIN;
-    for y in 0..GRID_SIZE {
-        for x in 0..GRID_SIZE {
+    // One anchor pass marks every admissible cell; the metric is evaluated
+    // only on set bits instead of probing all 1024 footprints.
+    let anchors = floorplan.grid().free_anchors(gw, gh);
+    for (y, &row) in anchors.iter().enumerate() {
+        let mut bits = row;
+        while bits != 0 {
+            let x = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
             let cell = Cell::new(x, y);
-            if !scratch.fits(cell, gw, gh) {
-                continue;
-            }
             if scratch.place(block, 0, *shape, cell).is_err() {
                 continue;
             }

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use afp_circuit::{BlockId, Shape};
 
+use crate::bitgrid::{BitGrid, OccupyError};
 use crate::grid::{Canvas, Cell, GRID_SIZE};
 use crate::rect::Rect;
 
@@ -16,6 +17,15 @@ pub enum PlaceError {
     Overlap,
     /// The block has already been placed in this floorplan.
     AlreadyPlaced,
+}
+
+impl From<OccupyError> for PlaceError {
+    fn from(e: OccupyError) -> Self {
+        match e {
+            OccupyError::OutOfBounds => PlaceError::OutOfBounds,
+            OccupyError::Overlap => PlaceError::Overlap,
+        }
+    }
 }
 
 impl std::fmt::Display for PlaceError {
@@ -50,13 +60,37 @@ pub struct PlacedBlock {
     pub rect: Rect,
 }
 
+/// Sentinel in the block → placement-slot index meaning "not placed".
+const UNPLACED: u32 = u32::MAX;
+
 /// The evolving floorplan of one episode: grid occupancy plus the real-valued
 /// rectangles of every placed block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Occupancy is a [`BitGrid`] (one `u32` row mask per grid row), so footprint
+/// probes, placement and the free-anchor maps behind the snap search and the
+/// RL positional masks are word-level bit operations. Per-block lookup
+/// ([`Floorplan::is_placed`], [`Floorplan::find`]) is O(1) through a
+/// block-index → placement-slot table instead of a linear scan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Floorplan {
     canvas: Canvas,
-    occupancy: Vec<bool>,
+    grid: BitGrid,
     placed: Vec<PlacedBlock>,
+    /// `slot[block.index()]` is the index into `placed`, or [`UNPLACED`].
+    /// Grown on demand; trailing entries may be missing for never-seen ids.
+    /// Fully derivable from `placed` (and ignored by `PartialEq`); when the
+    /// vendored serde stub is swapped for the real crate, this field should
+    /// be skipped on serialize and rebuilt from `placed` on deserialize —
+    /// the stub derive cannot express `#[serde(skip)]`.
+    slot: Vec<u32>,
+}
+
+/// Equality ignores the capacity/length of the lazily grown slot table — two
+/// floorplans are equal iff canvas, occupancy and placement history agree.
+impl PartialEq for Floorplan {
+    fn eq(&self, other: &Self) -> bool {
+        self.canvas == other.canvas && self.grid == other.grid && self.placed == other.placed
+    }
 }
 
 impl Floorplan {
@@ -64,8 +98,9 @@ impl Floorplan {
     pub fn new(canvas: Canvas) -> Self {
         Floorplan {
             canvas,
-            occupancy: vec![false; GRID_SIZE * GRID_SIZE],
+            grid: BitGrid::new(),
             placed: Vec::new(),
+            slot: Vec::new(),
         }
     }
 
@@ -84,24 +119,38 @@ impl Floorplan {
         self.placed.len()
     }
 
-    /// Returns `true` if the given block has been placed.
+    /// Returns `true` if the given block has been placed. O(1).
     pub fn is_placed(&self, block: BlockId) -> bool {
-        self.placed.iter().any(|p| p.block == block)
+        self.slot
+            .get(block.index())
+            .is_some_and(|&s| s != UNPLACED)
     }
 
-    /// The placement record of a block, if placed.
+    /// The placement record of a block, if placed. O(1).
     pub fn find(&self, block: BlockId) -> Option<&PlacedBlock> {
-        self.placed.iter().find(|p| p.block == block)
+        match self.slot.get(block.index()) {
+            Some(&s) if s != UNPLACED => self.placed.get(s as usize),
+            _ => None,
+        }
     }
 
-    /// Raw grid occupancy (row-major, `GRID_SIZE × GRID_SIZE`).
-    pub fn occupancy(&self) -> &[bool] {
-        &self.occupancy
+    /// The occupancy bitboard: one `u32` row mask per grid row.
+    pub fn grid(&self) -> &BitGrid {
+        &self.grid
+    }
+
+    /// Row-major iterator over the `GRID_SIZE × GRID_SIZE` occupancy cells —
+    /// the stable scalar view for serialization and feature maps.
+    pub fn occupancy_cells(&self) -> impl Iterator<Item = bool> + '_ {
+        self.grid
+            .rows()
+            .iter()
+            .flat_map(|&row| (0..GRID_SIZE as u32).map(move |x| (row >> x) & 1 == 1))
     }
 
     /// Returns `true` if the cell is inside the grid and not occupied.
     pub fn is_free(&self, cell: Cell) -> bool {
-        cell.x < GRID_SIZE && cell.y < GRID_SIZE && !self.occupancy[cell.index()]
+        cell.x < GRID_SIZE && cell.y < GRID_SIZE && !self.grid.get(cell)
     }
 
     /// The grid footprint of a shape on this floorplan's canvas.
@@ -112,20 +161,13 @@ impl Floorplan {
     /// Returns `true` if a footprint of `grid_w × grid_h` cells anchored at
     /// `cell` stays on the grid and does not overlap occupied cells.
     pub fn fits(&self, cell: Cell, grid_w: usize, grid_h: usize) -> bool {
-        if cell.x + grid_w > GRID_SIZE || cell.y + grid_h > GRID_SIZE {
-            return false;
-        }
-        for dy in 0..grid_h {
-            for dx in 0..grid_w {
-                if self.occupancy[(cell.y + dy) * GRID_SIZE + cell.x + dx] {
-                    return false;
-                }
-            }
-        }
-        true
+        self.grid.fits(cell, grid_w, grid_h)
     }
 
     /// Places a block with the given shape at the given lower-left cell.
+    ///
+    /// Bounds, overlap and the occupancy update share a single pass over the
+    /// footprint's row masks ([`BitGrid::try_occupy`]).
     ///
     /// # Errors
     ///
@@ -142,17 +184,11 @@ impl Floorplan {
             return Err(PlaceError::AlreadyPlaced);
         }
         let (grid_w, grid_h) = self.grid_footprint(&shape);
-        if cell.x + grid_w > GRID_SIZE || cell.y + grid_h > GRID_SIZE {
-            return Err(PlaceError::OutOfBounds);
+        self.grid.try_occupy(cell, grid_w, grid_h)?;
+        if block.index() >= self.slot.len() {
+            self.slot.resize(block.index() + 1, UNPLACED);
         }
-        if !self.fits(cell, grid_w, grid_h) {
-            return Err(PlaceError::Overlap);
-        }
-        for dy in 0..grid_h {
-            for dx in 0..grid_w {
-                self.occupancy[(cell.y + dy) * GRID_SIZE + cell.x + dx] = true;
-            }
-        }
+        self.slot[block.index()] = self.placed.len() as u32;
         let (x_um, y_um) = self.canvas.cell_to_um(cell);
         self.placed.push(PlacedBlock {
             block,
@@ -170,22 +206,20 @@ impl Floorplan {
     /// Used by mask construction to evaluate hypothetical placements cheaply.
     pub fn unplace_last(&mut self) -> Option<PlacedBlock> {
         let last = self.placed.pop()?;
-        for dy in 0..last.grid_h {
-            for dx in 0..last.grid_w {
-                self.occupancy[(last.cell.y + dy) * GRID_SIZE + last.cell.x + dx] = false;
-            }
-        }
+        self.grid.clear_rect(last.cell, last.grid_w, last.grid_h);
+        self.slot[last.block.index()] = UNPLACED;
         Some(last)
     }
 
-    /// Clears all placements and rebinds the canvas, reusing the occupancy
-    /// and placed-block buffers — the allocation-free alternative to
+    /// Clears all placements and rebinds the canvas, reusing the placed-block
+    /// and slot buffers — the allocation-free alternative to
     /// [`Floorplan::new`] for evaluation loops that realize thousands of
     /// candidate floorplans.
     pub fn reset(&mut self, canvas: Canvas) {
         self.canvas = canvas;
-        self.occupancy.iter_mut().for_each(|c| *c = false);
+        self.grid.clear();
         self.placed.clear();
+        self.slot.iter_mut().for_each(|s| *s = UNPLACED);
     }
 
     /// Bounding box (µm) of all placed blocks, or `None` if nothing is placed.
@@ -261,7 +295,45 @@ mod tests {
         let removed = fp.unplace_last().unwrap();
         assert_eq!(removed.block, BlockId(0));
         assert_eq!(fp, empty);
+        assert!(!fp.is_placed(BlockId(0)));
         assert!(fp.unplace_last().is_none());
+    }
+
+    #[test]
+    fn find_is_correct_after_unplace_of_other_block() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(3), 0, Shape::new(2.0, 2.0), Cell::new(0, 0))
+            .unwrap();
+        fp.place(BlockId(1), 0, Shape::new(2.0, 2.0), Cell::new(10, 10))
+            .unwrap();
+        fp.unplace_last();
+        assert!(fp.is_placed(BlockId(3)));
+        assert!(!fp.is_placed(BlockId(1)));
+        assert_eq!(fp.find(BlockId(3)).unwrap().cell, Cell::new(0, 0));
+    }
+
+    #[test]
+    fn reset_clears_slots_and_grid() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(5), 0, Shape::new(4.0, 4.0), Cell::new(8, 8))
+            .unwrap();
+        fp.reset(canvas());
+        assert_eq!(fp.num_placed(), 0);
+        assert!(!fp.is_placed(BlockId(5)));
+        assert_eq!(fp.grid().count_occupied(), 0);
+        assert_eq!(fp, Floorplan::new(canvas()));
+    }
+
+    #[test]
+    fn occupancy_cells_match_grid() {
+        let mut fp = Floorplan::new(canvas());
+        fp.place(BlockId(0), 0, Shape::new(2.0, 1.0), Cell::new(3, 4))
+            .unwrap();
+        let cells: Vec<bool> = fp.occupancy_cells().collect();
+        assert_eq!(cells.len(), GRID_SIZE * GRID_SIZE);
+        assert_eq!(cells.iter().filter(|&&c| c).count(), 2);
+        assert!(cells[4 * GRID_SIZE + 3]);
+        assert!(cells[4 * GRID_SIZE + 4]);
     }
 
     #[test]

@@ -283,37 +283,29 @@ pub fn realize_floorplan(
     scratch.store_order(order);
 }
 
-/// Scans outward from `start` for the nearest cell where a `gw × gh` footprint
-/// fits, returning `None` if the grid is exhausted.
-fn find_nearest_fit(
+/// Finds the nearest cell to `start` where a `gw × gh` footprint fits,
+/// returning `None` if the grid is exhausted.
+///
+/// The fast path is a single word-level [`Floorplan::fits`] probe at `start`
+/// (almost always free: grid snapping rarely collides). On a miss, one
+/// [`BitGrid::free_anchors`](crate::bitgrid::BitGrid::free_anchors) pass
+/// answers "where does this footprint fit?" for all 1024 cells at once, and
+/// [`nearest_anchor`](crate::bitgrid::nearest_anchor) picks the set bit the
+/// historical spiral scan would have found — Chebyshev radius ascending, then
+/// Δy, then Δx — so placements are bit-identical to the scalar path while the
+/// worst case drops from O(32² · gw · gh) cell probes to O(32 · log) word ops
+/// plus a trailing-zeros ring scan.
+pub fn find_nearest_fit(
     fp: &Floorplan,
     start: crate::grid::Cell,
     gw: usize,
     gh: usize,
 ) -> Option<crate::grid::Cell> {
-    use crate::grid::{Cell, GRID_SIZE};
     if fp.fits(start, gw, gh) {
         return Some(start);
     }
-    for radius in 1..GRID_SIZE {
-        for dy in -(radius as isize)..=(radius as isize) {
-            for dx in -(radius as isize)..=(radius as isize) {
-                if dx.abs().max(dy.abs()) != radius as isize {
-                    continue;
-                }
-                let x = start.x as isize + dx;
-                let y = start.y as isize + dy;
-                if x < 0 || y < 0 {
-                    continue;
-                }
-                let cell = Cell::new(x as usize, y as usize);
-                if cell.x < GRID_SIZE && cell.y < GRID_SIZE && fp.fits(cell, gw, gh) {
-                    return Some(cell);
-                }
-            }
-        }
-    }
-    None
+    let anchors = fp.grid().free_anchors(gw, gh);
+    crate::bitgrid::nearest_anchor(&anchors, start)
 }
 
 #[cfg(test)]

@@ -155,39 +155,94 @@ fn two_distinct<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
 /// optional congestion-aware spacing and the reward normalization.
 #[derive(Debug)]
 pub struct Problem {
-    /// The circuit being floorplanned.
-    pub circuit: Circuit,
+    /// The circuit being floorplanned. Private because the effective-shape
+    /// table is derived from its connectivity; read through
+    /// [`Problem::circuit`].
+    circuit: Circuit,
     /// The placement canvas.
     pub canvas: Canvas,
-    /// Candidate shapes per block.
-    pub shape_sets: Vec<ShapeSet>,
+    /// Candidate shapes per block. Private so the precomputed
+    /// effective-shape table cannot silently go stale; read through
+    /// [`Problem::shape_sets`].
+    shape_sets: Vec<ShapeSet>,
     /// Congestion-aware spacing applied to baseline shapes (paper §V-B), or
-    /// `None` to pack the raw shapes.
-    pub spacing: Option<SpacingConfig>,
+    /// `None` to pack the raw shapes. Mutate through
+    /// [`Problem::set_spacing`] / [`Problem::without_spacing`], which keep
+    /// the effective-shape table in sync.
+    spacing: Option<SpacingConfig>,
     /// `HPWL_min` estimate used by the reward (paper Eq. 5).
     pub hpwl_min: f64,
     /// Reward weights (α, β, γ, violation penalty).
     pub weights: RewardWeights,
+    /// Effective (spacing-inflated) candidate shape per `[block][shape
+    /// index]`, precomputed once: the congestion margin depends only on the
+    /// block's connectivity and the chosen shape, never on the candidate's
+    /// sequences, so re-deriving it on every cost evaluation (a full
+    /// `nets_of_block` scan per block) dominated the SA inner loop.
+    effective_shapes: Vec<[Shape; SHAPES_PER_BLOCK]>,
 }
 
 impl Problem {
     /// Builds the evaluation context for a circuit with the paper's defaults
     /// (congestion-aware spacing enabled for baselines).
     pub fn new(circuit: &Circuit) -> Self {
-        Problem {
+        let mut problem = Problem {
             canvas: Canvas::for_circuit(circuit),
             shape_sets: shape_sets(circuit),
             spacing: Some(SpacingConfig::default()),
             hpwl_min: metrics::hpwl_lower_bound(circuit),
             weights: RewardWeights::default(),
             circuit: circuit.clone(),
-        }
+            effective_shapes: Vec::new(),
+        };
+        problem.rebuild_effective_shapes();
+        problem
+    }
+
+    /// The circuit being floorplanned.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The candidate shapes per block.
+    pub fn shape_sets(&self) -> &[ShapeSet] {
+        &self.shape_sets
+    }
+
+    /// The congestion-aware spacing decoration, if enabled.
+    pub fn spacing(&self) -> Option<&SpacingConfig> {
+        self.spacing.as_ref()
+    }
+
+    /// Replaces the spacing decoration and refreshes the effective shapes.
+    pub fn set_spacing(&mut self, spacing: Option<SpacingConfig>) {
+        self.spacing = spacing;
+        self.rebuild_effective_shapes();
     }
 
     /// Disables the congestion-aware spacing decoration.
     pub fn without_spacing(mut self) -> Self {
-        self.spacing = None;
+        self.set_spacing(None);
         self
+    }
+
+    /// Recomputes the effective-shape table from `shape_sets` + `spacing`.
+    fn rebuild_effective_shapes(&mut self) {
+        self.effective_shapes = self
+            .circuit
+            .blocks
+            .iter()
+            .zip(&self.shape_sets)
+            .map(|(block, set)| {
+                std::array::from_fn(|k| {
+                    let shape = set.shape(k);
+                    match &self.spacing {
+                        Some(cfg) => cfg.inflate_shape(&self.circuit, block, &shape),
+                        None => shape,
+                    }
+                })
+            })
+            .collect();
     }
 
     /// Number of blocks.
@@ -198,16 +253,12 @@ impl Problem {
     /// The (possibly inflated) shape of each block under a candidate's shape
     /// choices.
     pub fn shapes_for(&self, candidate: &Candidate) -> Vec<Shape> {
-        let raw: Vec<Shape> = candidate
+        candidate
             .shape_choice
             .iter()
             .enumerate()
-            .map(|(b, &s)| self.shape_sets[b].shape(s))
-            .collect();
-        match &self.spacing {
-            Some(cfg) => cfg.inflate_all(&self.circuit, &raw),
-            None => raw,
-        }
+            .map(|(b, &s)| self.effective_shapes[b][s])
+            .collect()
     }
 
     /// The shapes of [`Problem::shapes_for`], written into a caller-held
@@ -219,13 +270,8 @@ impl Problem {
                 .shape_choice
                 .iter()
                 .enumerate()
-                .map(|(b, &s)| self.shape_sets[b].shape(s)),
+                .map(|(b, &s)| self.effective_shapes[b][s]),
         );
-        if let Some(cfg) = &self.spacing {
-            for (block, shape) in self.circuit.blocks.iter().zip(out.iter_mut()) {
-                *shape = cfg.inflate_shape(&self.circuit, block, shape);
-            }
-        }
     }
 
     /// Realizes a candidate as a floorplan on the shared canvas.
@@ -404,7 +450,7 @@ mod tests {
     fn identity_candidate_is_well_formed() {
         let circuit = generators::ota5();
         let problem = Problem::new(&circuit);
-        let c = Candidate::identity(problem.num_blocks(), &problem.shape_sets);
+        let c = Candidate::identity(problem.num_blocks(), problem.shape_sets());
         assert_eq!(c.positive.len(), 5);
         assert_eq!(c.shape_choice.len(), 5);
         let cost = problem.cost(&c);
@@ -441,7 +487,7 @@ mod tests {
         let circuit = generators::ota8();
         let with = Problem::new(&circuit);
         let without = Problem::new(&circuit).without_spacing();
-        let c = Candidate::identity(with.num_blocks(), &with.shape_sets);
+        let c = Candidate::identity(with.num_blocks(), with.shape_sets());
         // Inflated shapes should not make the floorplan cheaper.
         assert!(with.cost(&c) >= without.cost(&c) * 0.99);
     }

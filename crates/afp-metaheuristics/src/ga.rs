@@ -107,7 +107,7 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
     let mut population: Vec<Candidate> = (0..config.population)
         .map(|i| {
             if i == 0 {
-                Candidate::identity(n, &problem.shape_sets)
+                Candidate::identity(n, problem.shape_sets())
             } else {
                 Candidate::random(n, &mut rng)
             }

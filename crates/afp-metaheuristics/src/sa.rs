@@ -148,7 +148,7 @@ mod tests {
     fn warm_start_is_respected() {
         let circuit = generators::ota3();
         let problem = Problem::new(&circuit);
-        let warm = Candidate::identity(problem.num_blocks(), &problem.shape_sets);
+        let warm = Candidate::identity(problem.num_blocks(), problem.shape_sets());
         let cfg = SaConfig {
             iterations: 10,
             ..SaConfig::small()

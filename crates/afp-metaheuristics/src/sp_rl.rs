@@ -136,7 +136,7 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
 
     let mut cache = CostCache::new(problem);
     let mut logits = vec![0.0f64; NUM_MOVES];
-    let mut best = Candidate::identity(n, &problem.shape_sets);
+    let mut best = Candidate::identity(n, problem.shape_sets());
     let mut best_cost = problem.cost_cached(&best, &mut cache);
     let mut evaluations = 1;
     let mut baseline_return = 0.0f64;

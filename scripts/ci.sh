@@ -2,12 +2,31 @@
 # Tier-1 verification plus the repo's own extended checks.
 #
 #   tier-1:   cargo build --release && cargo test -q
-#   extended: workspace-wide tests and a compile check of every criterion
-#             bench (the perf harness must never rot between perf PRs).
+#   extended: workspace-wide tests, a compile check of every criterion
+#             bench, and a smoke run of the perf snapshot (the harness must
+#             never rot between perf PRs: the run fails the build if
+#             bench_snapshot panics or emits malformed JSON).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace   # superset of tier-1's `cargo test -q`
 cargo bench --no-run
+
+# Perf-harness smoke: run bench_snapshot into a scratch directory (so the
+# committed BENCH_pack.json — the canonical perf trajectory — is not churned
+# by every CI run) and validate the emitted JSON. Perf PRs refresh the real
+# snapshot deliberately by running bench_snapshot from the repo root.
+repo_root="$(pwd)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+(cd "$smoke_dir" && cargo run --release --manifest-path "$repo_root/Cargo.toml" \
+    -p afp-bench --bin bench_snapshot)
+if command -v python3 > /dev/null; then
+    python3 -m json.tool "$smoke_dir/BENCH_pack.json" > /dev/null \
+        || { echo "ci: bench_snapshot emitted malformed JSON" >&2; exit 1; }
+else
+    echo "ci: python3 not found, skipping BENCH_pack.json JSON validation" >&2
+fi
+
 echo "ci: all checks passed"

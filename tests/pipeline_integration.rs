@@ -115,7 +115,7 @@ fn congestion_spacing_makes_baseline_floorplans_larger() {
     let without = Problem::new(&circuit).without_spacing();
     let candidate = analog_floorplan::metaheuristics::Candidate::identity(
         circuit.num_blocks(),
-        &with_spacing.shape_sets,
+        with_spacing.shape_sets(),
     );
     let area_with = with_spacing.realize(&candidate).bounding_box().unwrap().area();
     let area_without = without.realize(&candidate).bounding_box().unwrap().area();

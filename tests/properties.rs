@@ -8,6 +8,70 @@ use analog_floorplan::circuit::{node_features, NODE_FEATURE_DIM};
 use analog_floorplan::layout::{metrics, Canvas, Cell, Floorplan, SequencePair, GRID_SIZE};
 use analog_floorplan::tensor::Tensor;
 
+/// Scalar `Vec<bool>` occupancy grid — the pre-bitboard reference
+/// implementation of `fits`, the spiral nearest-fit scan and the positional
+/// free-space test, retained as the differential oracle for the `BitGrid`
+/// word-level engine (mirroring how `legacy-pack` oracles FAST-SP).
+struct ScalarGrid {
+    occ: Vec<bool>,
+}
+
+impl ScalarGrid {
+    fn new() -> Self {
+        ScalarGrid {
+            occ: vec![false; GRID_SIZE * GRID_SIZE],
+        }
+    }
+
+    fn fits(&self, cell: Cell, gw: usize, gh: usize) -> bool {
+        if cell.x + gw > GRID_SIZE || cell.y + gh > GRID_SIZE {
+            return false;
+        }
+        for dy in 0..gh {
+            for dx in 0..gw {
+                if self.occ[(cell.y + dy) * GRID_SIZE + cell.x + dx] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn set_rect(&mut self, cell: Cell, gw: usize, gh: usize) {
+        for dy in 0..gh {
+            for dx in 0..gw {
+                self.occ[(cell.y + dy) * GRID_SIZE + cell.x + dx] = true;
+            }
+        }
+    }
+
+    /// The historical spiral nearest-fit scan, verbatim.
+    fn find_nearest_fit(&self, start: Cell, gw: usize, gh: usize) -> Option<Cell> {
+        if self.fits(start, gw, gh) {
+            return Some(start);
+        }
+        for radius in 1..GRID_SIZE {
+            for dy in -(radius as isize)..=(radius as isize) {
+                for dx in -(radius as isize)..=(radius as isize) {
+                    if dx.abs().max(dy.abs()) != radius as isize {
+                        continue;
+                    }
+                    let x = start.x as isize + dx;
+                    let y = start.y as isize + dy;
+                    if x < 0 || y < 0 {
+                        continue;
+                    }
+                    let cell = Cell::new(x as usize, y as usize);
+                    if cell.x < GRID_SIZE && cell.y < GRID_SIZE && self.fits(cell, gw, gh) {
+                        return Some(cell);
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
 /// Strategy producing a plausible block area in µm².
 fn area_strategy() -> impl Strategy<Value = f64> {
     1.0f64..2000.0
@@ -161,5 +225,180 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    // 200+ random cases each: the acceptance bar of the BitGrid occupancy
+    // engine — every word-level query must agree cell-for-cell with the
+    // scalar `Vec<bool>` reference it replaced.
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Differential test of the occupancy engine: after a random placement
+    /// sequence, `Floorplan::fits`, the free-anchor bitmask and the
+    /// bitboard nearest-fit search must agree with the scalar grid and the
+    /// historical spiral scan on every cell.
+    #[test]
+    fn bitboard_fits_anchors_and_nearest_fit_match_scalar(
+        placements in prop::collection::vec(
+            ((0usize..GRID_SIZE), (0usize..GRID_SIZE), (1.0f64..12.0), (1.0f64..12.0)), 1..14),
+        footprint in ((1usize..11), (1usize..11)),
+        start in ((0usize..GRID_SIZE), (0usize..GRID_SIZE)),
+    ) {
+        use analog_floorplan::layout::sequence_pair::find_nearest_fit;
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        let mut scalar = ScalarGrid::new();
+        for (i, (x, y, w, h)) in placements.into_iter().enumerate() {
+            if fp.place(BlockId(i), 0, Shape::new(w, h), Cell::new(x, y)).is_ok() {
+                let p = fp.placed().last().unwrap();
+                scalar.set_rect(p.cell, p.grid_w, p.grid_h);
+            }
+        }
+        let (gw, gh) = footprint;
+        let anchors = fp.grid().free_anchors(gw, gh);
+        for y in 0..GRID_SIZE {
+            for x in 0..GRID_SIZE {
+                let cell = Cell::new(x, y);
+                let expected = scalar.fits(cell, gw, gh);
+                prop_assert_eq!(fp.fits(cell, gw, gh), expected,
+                    "fits diverges at ({}, {}) for {}x{}", x, y, gw, gh);
+                prop_assert_eq!((anchors[y] >> x) & 1 == 1, expected,
+                    "anchor bit diverges at ({}, {}) for {}x{}", x, y, gw, gh);
+            }
+        }
+        let start = Cell::new(start.0, start.1);
+        prop_assert_eq!(
+            find_nearest_fit(&fp, start, gw, gh),
+            scalar.find_nearest_fit(start, gw, gh),
+            "nearest fit diverges from spiral scan at start ({}, {})", start.x, start.y
+        );
+    }
+
+    /// The positional mask `f_p` built from the anchor bitmask must equal the
+    /// scalar reference (constraint mask ANDed with per-cell footprint
+    /// probes), constraints included.
+    #[test]
+    fn positional_mask_matches_scalar_reference(
+        placements in prop::collection::vec(
+            ((0usize..GRID_SIZE), (0usize..GRID_SIZE), (2.0f64..8.0), (2.0f64..8.0)), 0..4),
+        shape_dims in ((1.0f64..10.0), (1.0f64..10.0)),
+    ) {
+        use analog_floorplan::circuit::{Circuit, NetClass};
+        use analog_floorplan::layout::constraints::constraint_mask;
+        use analog_floorplan::layout::masks::positional_mask;
+        let circuit = Circuit::builder("diff")
+            .block("L", BlockKind::CurrentMirror, 16.0, 3)
+            .block("R", BlockKind::CurrentMirror, 16.0, 3)
+            .block("T", BlockKind::CurrentSource, 16.0, 2)
+            .block("U", BlockKind::BiasGenerator, 16.0, 2)
+            .net("n", &[("L", "d"), ("R", "d"), ("T", "g")], NetClass::Signal)
+            .net("m", &[("T", "d"), ("U", "g")], NetClass::Signal)
+            .symmetry_v(&[("L", "R")])
+            .alignment(analog_floorplan::circuit::Axis::Horizontal, &["T", "U"])
+            .build()
+            .unwrap();
+        let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
+        let mut scalar = ScalarGrid::new();
+        for (i, (x, y, w, h)) in placements.into_iter().enumerate() {
+            if fp.place(BlockId(i), 0, Shape::new(w, h), Cell::new(x, y)).is_ok() {
+                let p = fp.placed().last().unwrap();
+                scalar.set_rect(p.cell, p.grid_w, p.grid_h);
+            }
+        }
+        let shape = Shape::new(shape_dims.0, shape_dims.1);
+        for block in [BlockId(1), BlockId(3)] {
+            if fp.is_placed(block) {
+                continue;
+            }
+            let (gw, gh) = fp.grid_footprint(&shape);
+            let constraints = constraint_mask(&circuit, &fp, block, gw, gh);
+            let mask = positional_mask(&circuit, &fp, block, &shape);
+            for y in 0..GRID_SIZE {
+                for x in 0..GRID_SIZE {
+                    let idx = y * GRID_SIZE + x;
+                    let expected = if constraints[idx] == 1.0
+                        && scalar.fits(Cell::new(x, y), gw, gh)
+                    {
+                        1.0f32
+                    } else {
+                        0.0
+                    };
+                    prop_assert_eq!(mask[idx], expected,
+                        "positional mask diverges at ({}, {}) for block {:?}", x, y, block);
+                }
+            }
+        }
+    }
+
+    /// `realize_floorplan` (pack → scale → snap → bitboard nearest-fit) must
+    /// produce placements bit-identical to the pre-refactor scalar path
+    /// (same pack, scalar occupancy grid, spiral nearest-fit scan).
+    #[test]
+    fn realize_floorplan_matches_scalar_path(seed in 0u64..1_000_000) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::layout::sequence_pair::realize_floorplan;
+        use analog_floorplan::layout::PackScratch;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = generators::random_circuit(&mut rng);
+        let canvas = Canvas::for_circuit(&circuit);
+        let n = circuit.num_blocks();
+        let shapes: Vec<Shape> = (0..n)
+            .map(|_| Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0)))
+            .collect();
+        let mut sp = SequencePair::identity(shapes);
+        sp.positive.shuffle(&mut rng);
+        sp.negative.shuffle(&mut rng);
+
+        // Bitboard path.
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::new(canvas);
+        realize_floorplan(
+            &sp.positive, &sp.negative, &sp.shapes, &circuit, canvas, &mut scratch, &mut fp,
+        );
+
+        // Scalar reference path, mirroring the pre-bitboard implementation.
+        let packed = sp.pack();
+        let scale_x = if packed.width > canvas.width_um {
+            canvas.width_um / packed.width
+        } else {
+            1.0
+        };
+        let scale_y = if packed.height > canvas.height_um {
+            canvas.height_um / packed.height
+        } else {
+            1.0
+        };
+        let scale = scale_x.min(scale_y);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            (packed.positions[a].1, packed.positions[a].0)
+                .partial_cmp(&(packed.positions[b].1, packed.positions[b].0))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut grid = ScalarGrid::new();
+        let mut expected: Vec<(BlockId, Cell, usize, usize)> = Vec::new();
+        for &i in &order {
+            let (px, py) = packed.positions[i];
+            let shape = Shape::new(
+                sp.shapes[i].width_um * scale,
+                sp.shapes[i].height_um * scale,
+            );
+            let cell_x = ((px * scale) / canvas.cell_width_um()).round() as usize;
+            let cell_y = ((py * scale) / canvas.cell_height_um()).round() as usize;
+            let cell = Cell::new(cell_x.min(GRID_SIZE - 1), cell_y.min(GRID_SIZE - 1));
+            let (gw, gh) = canvas.shape_to_cells(&shape);
+            if let Some(cell) = grid.find_nearest_fit(cell, gw, gh) {
+                grid.set_rect(cell, gw, gh);
+                expected.push((circuit.blocks[i].id, cell, gw, gh));
+            }
+        }
+        let got: Vec<(BlockId, Cell, usize, usize)> = fp
+            .placed()
+            .iter()
+            .map(|p| (p.block, p.cell, p.grid_w, p.grid_h))
+            .collect();
+        prop_assert_eq!(got, expected, "realized placements diverge (seed {})", seed);
     }
 }
