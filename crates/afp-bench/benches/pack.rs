@@ -10,6 +10,9 @@
 //! * `snap` — full grid realization (`realize_floorplan`: pack + scale +
 //!   snap + bitboard nearest-fit placement), the stage that dominated SA
 //!   cost evaluations after packing got fast.
+//! * `incremental` — the dirty-block realization engine against the full
+//!   path on an SA-style perturbation walk (consecutive episodes differ by
+//!   one move), at n ∈ {19, 50, 100, 200}.
 //! * `masks` — positional-mask (`f_p`) construction from the free-anchor
 //!   bitmask, the per-step cost of the RL env and mask-dataset builds.
 //!
@@ -18,10 +21,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use afp_bench::perf::{masks_workload, random_pair, snap_workload, PACK_SIZES};
+use afp_bench::perf::{masks_workload, perturb_pair, random_pair, snap_workload, PACK_SIZES};
 use afp_layout::masks::positional_masks;
-use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
-use afp_layout::{Floorplan, PackScratch};
+use afp_layout::sequence_pair::{realize_floorplan, realize_floorplan_incremental, PackedFloorplan};
+use afp_layout::{Floorplan, PackScratch, RealizeCache};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_pack(c: &mut Criterion) {
     let mut group = c.benchmark_group("pack");
@@ -66,6 +71,59 @@ fn bench_snap(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full vs incremental realization along an SA-style perturbation walk: the
+/// workload `cost_cached` sees, where consecutive episodes differ by one
+/// move and the dirty-block engine can keep the unchanged placement-order
+/// prefix.
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(20);
+    for n in [19usize, 50, 100, 200] {
+        let (circuit, canvas, sp0) = snap_workload(n, 0x1C4E ^ n as u64);
+
+        let mut sp = sp0.clone();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::new(canvas);
+        group.bench_function(BenchmarkId::new("full_walk", n), |b| {
+            b.iter(|| {
+                perturb_pair(&mut sp, &mut rng);
+                realize_floorplan(
+                    &sp.positive,
+                    &sp.negative,
+                    &sp.shapes,
+                    &circuit,
+                    canvas,
+                    &mut scratch,
+                    &mut fp,
+                )
+            })
+        });
+
+        let mut sp = sp0.clone();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::new(canvas);
+        let mut cache = RealizeCache::new();
+        group.bench_function(BenchmarkId::new("incremental_walk", n), |b| {
+            b.iter(|| {
+                perturb_pair(&mut sp, &mut rng);
+                realize_floorplan_incremental(
+                    &sp.positive,
+                    &sp.negative,
+                    &sp.shapes,
+                    &circuit,
+                    canvas,
+                    &mut scratch,
+                    &mut fp,
+                    &mut cache,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_masks(c: &mut Criterion) {
     let mut group = c.benchmark_group("masks");
     group.sample_size(20);
@@ -76,5 +134,5 @@ fn bench_masks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pack, bench_snap, bench_masks);
+criterion_group!(benches, bench_pack, bench_snap, bench_incremental, bench_masks);
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Reproducible perf snapshot: writes `BENCH_pack.json` with the packing
-//! engines' median times, the grid-realization (`snap`) and positional-mask
-//! (`masks`) medians, and the SA evaluation throughput, so every PR that
-//! touches the hot path has a trajectory to compare against.
+//! engines' median times, the grid-realization (`snap`), incremental
+//! dirty-block realization (`incremental_realize`, per-move cost + replay
+//! hit rate) and positional-mask (`masks`) medians, and the SA evaluation
+//! throughput, so every PR that touches the hot path has a trajectory to
+//! compare against.
 //!
 //! Usage: `cargo run --release -p afp-bench --bin bench_snapshot`
 //! (run from the repository root; the snapshot is written to
@@ -14,7 +16,9 @@ use afp_circuit::generators;
 use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
 use afp_layout::{Floorplan, PackScratch};
-use afp_metaheuristics::{simulated_annealing, SaConfig};
+use afp_metaheuristics::{simulated_annealing, Candidate, CostCache, Problem, SaConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn main() {
     let mut pack_rows = Vec::new();
@@ -67,10 +71,40 @@ fn main() {
     });
     println!("masks bias19: positional_masks {masks_ns:>12.1} ns");
 
-    // SA throughput on the largest paper circuit (Bias-2, 19 blocks): full
-    // cost evaluations (pack + grid realization + reward) per second.
+    // Incremental dirty-block realization vs the always-full path, on an
+    // SA-style perturbation walk over Bias-2: per-move cost and the fraction
+    // of blocks that skipped the snap search (kept prefix + replays).
     let circuit = generators::bias19();
+    let problem = Problem::new(&circuit);
+    let mut rng = StdRng::seed_from_u64(0x1C4E);
+    let mut walk = Candidate::random(problem.num_blocks(), &mut rng);
+    let mut inc_cache = CostCache::new(&problem);
+    inc_cache.set_incremental(true);
+    let incremental_ns = median_ns(|| {
+        let _ = walk.perturb(&mut rng);
+        let _ = problem.cost_cached(&walk, &mut inc_cache);
+    });
+    let mut full_cache = CostCache::new(&problem);
+    full_cache.set_incremental(false);
+    let full_ns = median_ns(|| {
+        let _ = walk.perturb(&mut rng);
+        let _ = problem.cost_cached(&walk, &mut full_cache);
+    });
+    let stats = inc_cache.realize_stats();
+    let hit_rate = stats.hit_rate();
+    let realize_speedup = full_ns / incremental_ns.max(1e-9);
+    println!(
+        "incremental bias19: {incremental_ns:>8.1} ns/move (full {full_ns:.1} ns, {realize_speedup:.2}x) hit rate {:.1}%",
+        100.0 * hit_rate
+    );
+
+    // SA throughput on the largest paper circuit (Bias-2, 19 blocks): full
+    // cost evaluations (pack + grid realization + reward) per second. One
+    // untimed warm-up run first: the Table I budget is only 4 000 moves, so a
+    // cold run is dominated by first-touch page faults and branch training
+    // rather than the steady-state cost the trajectory tracks.
     let config = SaConfig::table1();
+    let _ = simulated_annealing(&circuit, &config);
     let started = Instant::now();
     let result = simulated_annealing(&circuit, &config);
     let elapsed = started.elapsed().as_secs_f64();
@@ -81,11 +115,17 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization and positional masks; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization and positional masks; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3}\n  }},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
         pack_rows.join(",\n"),
         snap_rows.join(",\n"),
         mcircuit.name,
         masks_ns,
+        circuit.name,
+        circuit.num_blocks(),
+        incremental_ns,
+        full_ns,
+        realize_speedup,
+        hit_rate,
         circuit.name,
         circuit.num_blocks(),
         config.iterations,

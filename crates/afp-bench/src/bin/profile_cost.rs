@@ -24,7 +24,26 @@ fn main() {
         let _ = candidate.perturb(&mut rng);
         let _ = problem.cost_cached(&candidate, &mut cache);
     });
-    println!("perturb + cost_cached:      {full_ns:>10.1} ns");
+    println!("perturb + cost_cached:      {full_ns:>10.1} ns  (incremental realize)");
+    {
+        let s = cache.realize_stats();
+        let episodes = s.episodes.max(1);
+        println!(
+            "  realize hit rate {:5.1}%  kept/ep {:.1}  replayed/ep {:.1}  searched/ep {:.1}  rebuilds {}",
+            100.0 * s.hit_rate(),
+            s.kept_blocks as f64 / episodes as f64,
+            s.replayed_blocks as f64 / episodes as f64,
+            s.searched_blocks as f64 / episodes as f64,
+            s.full_rebuilds,
+        );
+    }
+    let mut full_cache = CostCache::new(&problem);
+    full_cache.set_incremental(false);
+    let oracle_ns = median_ns(|| {
+        let _ = candidate.perturb(&mut rng);
+        let _ = problem.cost_cached(&candidate, &mut full_cache);
+    });
+    println!("perturb + cost_cached:      {oracle_ns:>10.1} ns  (full realize)");
 
     let shapes = problem.shapes_for(&candidate);
     let sp = candidate.to_sequence_pair(&shapes);
@@ -43,6 +62,40 @@ fn main() {
         )
     });
     println!("  realize_floorplan:        {realize_ns:>10.1} ns");
+
+    // In-walk realization (candidate changes each call, as SA sees it).
+    let mut walk_shapes = Vec::new();
+    let mut walk_fp = Floorplan::new(canvas);
+    let mut walk_cache = afp_layout::RealizeCache::new();
+    let walk_inc_ns = median_ns(|| {
+        let _ = candidate.perturb(&mut rng);
+        problem.shapes_for_into(&candidate, &mut walk_shapes);
+        afp_layout::sequence_pair::realize_floorplan_incremental(
+            &candidate.positive,
+            &candidate.negative,
+            &walk_shapes,
+            &circuit,
+            canvas,
+            &mut scratch,
+            &mut walk_fp,
+            &mut walk_cache,
+        );
+    });
+    println!("  walk realize (incr):      {walk_inc_ns:>10.1} ns");
+    let walk_full_ns = median_ns(|| {
+        let _ = candidate.perturb(&mut rng);
+        problem.shapes_for_into(&candidate, &mut walk_shapes);
+        realize_floorplan(
+            &candidate.positive,
+            &candidate.negative,
+            &walk_shapes,
+            &circuit,
+            canvas,
+            &mut scratch,
+            &mut walk_fp,
+        );
+    });
+    println!("  walk realize (full):      {walk_full_ns:>10.1} ns");
 
     let shapes_ns = median_ns(|| {
         let _ = problem.shapes_for(&candidate);

@@ -89,6 +89,32 @@ pub fn masks_workload() -> (Circuit, Floorplan, BlockId, ShapeSet) {
     (circuit, fp, block, shapes)
 }
 
+/// Applies one SA-style move to a sequence pair in place: swap two blocks in
+/// `s⁺`, in `s⁻`, in both, or re-shape one block — the perturbation stream
+/// the incremental realization engine is benchmarked against.
+pub fn perturb_pair<R: Rng + ?Sized>(sp: &mut SequencePair, rng: &mut R) {
+    let n = sp.positive.len();
+    if n < 2 {
+        return;
+    }
+    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+    match rng.gen_range(0..4) {
+        0 => sp.positive.swap(i, j),
+        1 => sp.negative.swap(i, j),
+        2 => {
+            sp.positive.swap(i, j);
+            let (k, l) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            sp.negative.swap(k, l);
+        }
+        _ => {
+            sp.shapes[i] = Shape::new(
+                rng.gen_range(1.0..25.0),
+                rng.gen_range(1.0..25.0),
+            );
+        }
+    }
+}
+
 /// Median nanoseconds per call of `f`: calibrates a batch size targeting
 /// ~10 ms, then reports the median of 15 timed batches.
 pub fn median_ns<F: FnMut()>(mut f: F) -> f64 {

@@ -198,7 +198,18 @@ pub fn nearest_anchor(anchors: &[u32; GRID_SIZE], start: Cell) -> Option<Cell> {
     if (anchors[start.y] >> start.x) & 1 == 1 {
         return Some(start);
     }
-    for radius in 1..GRID_SIZE as isize {
+    nearest_anchor_from(anchors, start, 1)
+}
+
+/// [`nearest_anchor`] restricted to Chebyshev radii `>= min_radius`: the
+/// continuation used when smaller rings were already probed cell-by-cell
+/// (see `find_nearest_fit`). Scan order within each ring is unchanged.
+pub fn nearest_anchor_from(
+    anchors: &[u32; GRID_SIZE],
+    start: Cell,
+    min_radius: usize,
+) -> Option<Cell> {
+    for radius in min_radius as isize..GRID_SIZE as isize {
         for dy in -radius..=radius {
             let y = start.y as isize + dy;
             if !(0..GRID_SIZE as isize).contains(&y) {

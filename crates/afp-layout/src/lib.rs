@@ -56,5 +56,5 @@ pub use masks::{Mask, StateMasks, STATE_CHANNELS};
 pub use metrics::{FloorplanMetrics, RewardWeights};
 pub use placement::{Floorplan, PlaceError, PlacedBlock};
 pub use rect::Rect;
-pub use sequence_pair::{PackedFloorplan, SequencePair};
+pub use sequence_pair::{PackedFloorplan, RealizeCache, SequencePair};
 pub use spacing::SpacingConfig;

@@ -74,6 +74,10 @@ const UNPLACED: u32 = u32::MAX;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Floorplan {
     canvas: Canvas,
+    /// Cell dimensions of `canvas`, cached so the placement hot path does
+    /// not re-divide per block (bit-identical: same operands, one division).
+    cell_w_um: f64,
+    cell_h_um: f64,
     grid: BitGrid,
     placed: Vec<PlacedBlock>,
     /// `slot[block.index()]` is the index into `placed`, or [`UNPLACED`].
@@ -98,6 +102,8 @@ impl Floorplan {
     pub fn new(canvas: Canvas) -> Self {
         Floorplan {
             canvas,
+            cell_w_um: canvas.cell_width_um(),
+            cell_h_um: canvas.cell_height_um(),
             grid: BitGrid::new(),
             placed: Vec::new(),
             slot: Vec::new(),
@@ -180,16 +186,33 @@ impl Floorplan {
         shape: Shape,
         cell: Cell,
     ) -> Result<(), PlaceError> {
+        let (grid_w, grid_h) = self.grid_footprint(&shape);
+        self.place_prefit(block, shape_index, shape, cell, grid_w, grid_h)
+    }
+
+    /// [`Floorplan::place`] with the grid footprint already computed by the
+    /// caller — the replay path of the incremental realization engine, which
+    /// caches footprints and must not re-derive them (two divides + ceils per
+    /// block). `grid_w`/`grid_h` must equal `self.grid_footprint(&shape)`.
+    pub(crate) fn place_prefit(
+        &mut self,
+        block: BlockId,
+        shape_index: usize,
+        shape: Shape,
+        cell: Cell,
+        grid_w: usize,
+        grid_h: usize,
+    ) -> Result<(), PlaceError> {
+        debug_assert_eq!((grid_w, grid_h), self.grid_footprint(&shape));
         if self.is_placed(block) {
             return Err(PlaceError::AlreadyPlaced);
         }
-        let (grid_w, grid_h) = self.grid_footprint(&shape);
         self.grid.try_occupy(cell, grid_w, grid_h)?;
         if block.index() >= self.slot.len() {
             self.slot.resize(block.index() + 1, UNPLACED);
         }
         self.slot[block.index()] = self.placed.len() as u32;
-        let (x_um, y_um) = self.canvas.cell_to_um(cell);
+        let (x_um, y_um) = (cell.x as f64 * self.cell_w_um, cell.y as f64 * self.cell_h_um);
         self.placed.push(PlacedBlock {
             block,
             shape_index,
@@ -211,12 +234,39 @@ impl Floorplan {
         Some(last)
     }
 
+    /// Truncates the placement history to its first `keep` entries — the
+    /// bulk counterpart of repeated [`Floorplan::unplace_last`] calls. When
+    /// the dropped suffix outnumbers the kept prefix, the occupancy is
+    /// rebuilt from the prefix instead of AND-NOTing every dropped footprint.
+    pub fn truncate_placed(&mut self, keep: usize) {
+        if keep >= self.placed.len() {
+            return;
+        }
+        let dropped = self.placed.len() - keep;
+        if dropped <= keep {
+            for _ in 0..dropped {
+                self.unplace_last();
+            }
+            return;
+        }
+        for p in &self.placed[keep..] {
+            self.slot[p.block.index()] = UNPLACED;
+        }
+        self.placed.truncate(keep);
+        self.grid.clear();
+        for p in &self.placed {
+            self.grid.set_rect(p.cell, p.grid_w, p.grid_h);
+        }
+    }
+
     /// Clears all placements and rebinds the canvas, reusing the placed-block
     /// and slot buffers — the allocation-free alternative to
     /// [`Floorplan::new`] for evaluation loops that realize thousands of
     /// candidate floorplans.
     pub fn reset(&mut self, canvas: Canvas) {
         self.canvas = canvas;
+        self.cell_w_um = canvas.cell_width_um();
+        self.cell_h_um = canvas.cell_height_um();
         self.grid.clear();
         self.placed.clear();
         self.slot.iter_mut().for_each(|s| *s = UNPLACED);

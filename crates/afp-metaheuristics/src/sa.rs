@@ -71,12 +71,25 @@ pub fn simulated_annealing_on(
     config: &SaConfig,
     initial: Option<Candidate>,
 ) -> BaselineResult {
+    let mut cache = CostCache::new(problem);
+    simulated_annealing_with_cache(problem, config, initial, &mut cache)
+}
+
+/// [`simulated_annealing_on`] with a caller-provided [`CostCache`], so runs
+/// can reuse evaluation buffers — and so the determinism regression tests can
+/// drive the identical annealing schedule through the incremental and the
+/// full (`full-realize` oracle) realization paths.
+pub fn simulated_annealing_with_cache(
+    problem: &Problem,
+    config: &SaConfig,
+    initial: Option<Candidate>,
+    cache: &mut CostCache,
+) -> BaselineResult {
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut cache = CostCache::new(problem);
     let mut current =
         initial.unwrap_or_else(|| Candidate::random(problem.num_blocks(), &mut rng));
-    let mut current_cost = problem.cost_cached(&current, &mut cache);
+    let mut current_cost = problem.cost_cached(&current, cache);
     let mut best = current.clone();
     let mut best_cost = current_cost;
     let mut temperature = config.initial_temperature;
@@ -87,7 +100,7 @@ pub fn simulated_annealing_on(
         // is reverted with two index swaps instead of cloning the candidate
         // on every iteration.
         let undo = current.perturb(&mut rng);
-        let proposal_cost = problem.cost_cached(&current, &mut cache);
+        let proposal_cost = problem.cost_cached(&current, cache);
         evaluations += 1;
         let delta = proposal_cost - current_cost;
         let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp();
@@ -142,6 +155,35 @@ mod tests {
         let b = simulated_annealing(&circuit, &cfg);
         assert_eq!(a.reward, b.reward);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn sa_on_bias2_is_identical_with_incremental_realization_on_and_off() {
+        // Determinism regression for the incremental engine: a fixed seed on
+        // Bias-2 (19 blocks) must produce the same accept/reject trajectory,
+        // final cost and final floorplan whether cost evaluations realize
+        // incrementally or from scratch. Any divergence in a single snap
+        // decision would change the cost stream and split the trajectories.
+        let circuit = generators::bias19();
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 800,
+            seed: 0xB1A5,
+            ..SaConfig::table1()
+        };
+        let mut inc_cache = CostCache::new(&problem);
+        inc_cache.set_incremental(true);
+        let incremental = simulated_annealing_with_cache(&problem, &cfg, None, &mut inc_cache);
+        let mut full_cache = CostCache::new(&problem);
+        full_cache.set_incremental(false);
+        let full = simulated_annealing_with_cache(&problem, &cfg, None, &mut full_cache);
+        assert_eq!(incremental.reward, full.reward, "final cost diverged");
+        assert_eq!(incremental.evaluations, full.evaluations);
+        assert_eq!(incremental.floorplan, full.floorplan, "final floorplan diverged");
+        assert!(
+            inc_cache.realize_stats().hit_rate() > 0.0,
+            "incremental path never engaged on the SA walk"
+        );
     }
 
     #[test]

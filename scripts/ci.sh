@@ -11,6 +11,20 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q --workspace   # superset of tier-1's `cargo test -q`
+
+# Incremental-realization safety net: the differential proptests (incremental
+# vs full realization bit-identity, FAST-SP vs legacy oracle, BitGrid vs
+# scalar oracle) run as part of the workspace tests above; run them once more
+# by name so a filtered or partially-cached test run cannot silently skip
+# them, then run the metaheuristics tests again with the `full-realize`
+# oracle path as the CostCache default.
+diff_out="$(cargo test --test properties \
+    incremental_realize_matches_full_after_perturbation_sequences 2>&1)" \
+    || { echo "$diff_out"; exit 1; }
+echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
+    || { echo "ci: differential proptest filter matched no tests" >&2; exit 1; }
+cargo test -q -p afp-metaheuristics --features full-realize
+
 cargo bench --no-run
 
 # Perf-harness smoke: run bench_snapshot into a scratch directory (so the
@@ -23,8 +37,18 @@ trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && cargo run --release --manifest-path "$repo_root/Cargo.toml" \
     -p afp-bench --bin bench_snapshot)
 if command -v python3 > /dev/null; then
-    python3 -m json.tool "$smoke_dir/BENCH_pack.json" > /dev/null \
-        || { echo "ci: bench_snapshot emitted malformed JSON" >&2; exit 1; }
+    python3 - "$smoke_dir/BENCH_pack.json" <<'PY' \
+        || { echo "ci: bench_snapshot snapshot invalid" >&2; exit 1; }
+import json, sys
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+for section in ("pack", "snap", "masks", "incremental_realize", "sa"):
+    assert section in snap, f"missing snapshot section: {section}"
+inc = snap["incremental_realize"]
+for key in ("incremental_move_ns", "full_move_ns", "speedup", "replay_hit_rate"):
+    assert key in inc, f"missing incremental_realize key: {key}"
+assert 0.0 <= inc["replay_hit_rate"] <= 1.0, "hit rate out of range"
+PY
 else
     echo "ci: python3 not found, skipping BENCH_pack.json JSON validation" >&2
 fi

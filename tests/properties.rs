@@ -330,6 +330,97 @@ proptest! {
         }
     }
 
+    /// Differential test of the incremental realization engine: after any
+    /// random perturbation sequence (sequence swaps, shape changes, canvas
+    /// switches), `realize_floorplan_incremental` through a warm cache must
+    /// be bit-identical to a fresh `realize_floorplan` — grid occupancy,
+    /// block anchors and metrics all compared (mirroring the `ScalarGrid`
+    /// oracle pattern of the BitGrid PR).
+    #[test]
+    fn incremental_realize_matches_full_after_perturbation_sequences(
+        seed in 0u64..1_000_000,
+        moves in 1usize..14,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::layout::sequence_pair::{
+            realize_floorplan, realize_floorplan_incremental,
+        };
+        use analog_floorplan::layout::{PackScratch, RealizeCache};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = generators::random_circuit(&mut rng);
+        let base_canvas = Canvas::for_circuit(&circuit);
+        let alt_canvas = Canvas::new(base_canvas.width_um * 0.75, base_canvas.height_um * 1.25);
+        let n = circuit.num_blocks();
+        let mut positive: Vec<usize> = (0..n).collect();
+        let mut negative: Vec<usize> = (0..n).collect();
+        positive.shuffle(&mut rng);
+        negative.shuffle(&mut rng);
+        let mut shapes: Vec<Shape> = (0..n)
+            .map(|_| Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0)))
+            .collect();
+        let mut canvas = base_canvas;
+
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut cache = RealizeCache::new();
+        let mut fp = Floorplan::new(canvas);
+        let hpwl_min = metrics::hpwl_lower_bound(&circuit);
+        let weights = metrics::RewardWeights::default();
+
+        for _ in 0..moves {
+            match rng.gen_range(0..5) {
+                0 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    positive.swap(i, j);
+                }
+                1 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    negative.swap(i, j);
+                }
+                2 => {
+                    let b = rng.gen_range(0..n);
+                    shapes[b] = Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0));
+                }
+                3 => {
+                    canvas = if canvas == base_canvas { alt_canvas } else { base_canvas };
+                }
+                _ => {} // identical episode: everything should be kept
+            }
+
+            realize_floorplan_incremental(
+                &positive, &negative, &shapes, &circuit, canvas, &mut scratch, &mut fp,
+                &mut cache,
+            );
+
+            let mut fresh_scratch = PackScratch::with_capacity(n);
+            let mut fresh = Floorplan::new(canvas);
+            realize_floorplan(
+                &positive, &negative, &shapes, &circuit, canvas, &mut fresh_scratch, &mut fresh,
+            );
+
+            // Grid occupancy, block anchors and full placement records.
+            prop_assert_eq!(fp.grid().rows(), fresh.grid().rows(), "occupancy diverged");
+            prop_assert_eq!(fp.num_placed(), fresh.num_placed());
+            for (a, b) in fp.placed().iter().zip(fresh.placed().iter()) {
+                prop_assert_eq!(a.block, b.block, "anchor order diverged");
+                prop_assert_eq!(a.cell, b.cell, "anchor cell diverged");
+                prop_assert_eq!((a.grid_w, a.grid_h), (b.grid_w, b.grid_h));
+                prop_assert_eq!(&a.rect, &b.rect);
+                prop_assert_eq!(&a.shape, &b.shape);
+            }
+            prop_assert!(fp == fresh, "floorplans diverged");
+
+            // Metrics computed from both must agree bit-for-bit.
+            prop_assert_eq!(metrics::hpwl(&circuit, &fp), metrics::hpwl(&circuit, &fresh));
+            prop_assert_eq!(metrics::dead_space(&fp), metrics::dead_space(&fresh));
+            prop_assert_eq!(
+                metrics::episode_reward(&circuit, &fp, hpwl_min, &weights),
+                metrics::episode_reward(&circuit, &fresh, hpwl_min, &weights)
+            );
+        }
+    }
+
     /// `realize_floorplan` (pack → scale → snap → bitboard nearest-fit) must
     /// produce placements bit-identical to the pre-refactor scalar path
     /// (same pack, scalar occupancy grid, spiral nearest-fit scan).

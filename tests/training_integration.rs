@@ -5,6 +5,12 @@ use analog_floorplan::circuit::generators;
 use analog_floorplan::gnn::{pretrain, PretrainConfig};
 use analog_floorplan::rl::{train, train_with_encoder, TrainConfig};
 
+// Every config below pins its RNG seed explicitly rather than relying on the
+// `small()` defaults: these integration tests are tier-1, and an unseeded (or
+// implicitly seeded) RNG anywhere in the stack would make their pass/fail
+// state depend on the run. With the seeds fixed, every assertion below is
+// deterministic.
+
 #[test]
 fn pretrained_encoder_plugs_into_rl_training() {
     // Pre-train the reward model on a tiny dataset, keep the encoder, train a
@@ -12,6 +18,7 @@ fn pretrained_encoder_plugs_into_rl_training() {
     let pretrained = pretrain(&PretrainConfig {
         samples: 8,
         epochs: 2,
+        seed: 0xA11,
         ..PretrainConfig::small()
     });
     assert!(pretrained.final_validation_mse().is_finite());
@@ -20,6 +27,7 @@ fn pretrained_encoder_plugs_into_rl_training() {
     let config = TrainConfig {
         episodes_per_circuit: 6,
         episodes_per_update: 3,
+        seed: 0xA12,
         ..TrainConfig::small()
     };
     let mut result = train_with_encoder(encoder, &[generators::ota3()], &config);
@@ -35,6 +43,7 @@ fn training_history_records_reward_and_kl_curves() {
     let config = TrainConfig {
         episodes_per_circuit: 8,
         episodes_per_update: 4,
+        seed: 0xA13,
         ..TrainConfig::small()
     };
     let result = train(&[generators::ota3(), generators::bias3()], &config);
@@ -55,6 +64,7 @@ fn few_shot_fine_tuning_runs_on_an_unseen_circuit() {
     let config = TrainConfig {
         episodes_per_circuit: 4,
         episodes_per_update: 2,
+        seed: 0xA14,
         ..TrainConfig::small()
     };
     let mut result = train(&[generators::ota3()], &config);
