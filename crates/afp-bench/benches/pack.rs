@@ -10,9 +10,12 @@
 //! * `snap` — full grid realization (`realize_floorplan`: pack + scale +
 //!   snap + bitboard nearest-fit placement), the stage that dominated SA
 //!   cost evaluations after packing got fast.
-//! * `incremental` — the dirty-block realization engine against the full
-//!   path on an SA-style perturbation walk (consecutive episodes differ by
-//!   one move), at n ∈ {19, 50, 100, 200}.
+//! * `incremental` — the incremental cost pipeline against the full paths on
+//!   an SA-style perturbation walk (consecutive episodes differ by one
+//!   move): dirty-block realization at n ∈ {19, 50, 100, 200}, the cached
+//!   FAST-SP pack (`pack_coords_cached`) against the full sweep at the same
+//!   sizes, and the end-to-end `cost_cached` evaluation on Bias-2 with the
+//!   incremental layers on and off.
 //! * `masks` — positional-mask (`f_p`) construction from the free-anchor
 //!   bitmask, the per-step cost of the RL env and mask-dataset builds.
 //!
@@ -22,9 +25,12 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use afp_bench::perf::{masks_workload, perturb_pair, random_pair, snap_workload, PACK_SIZES};
+use afp_circuit::generators;
+use afp_layout::lcs_pack::{pack_coords, pack_coords_cached};
 use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, realize_floorplan_incremental, PackedFloorplan};
-use afp_layout::{Floorplan, PackScratch, RealizeCache};
+use afp_layout::{Floorplan, PackCache, PackScratch, RealizeCache};
+use afp_metaheuristics::{Candidate, CostCache, Problem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -118,6 +124,57 @@ fn bench_incremental(c: &mut Criterion) {
                     &mut fp,
                     &mut cache,
                 )
+            })
+        });
+
+        // The FAST-SP pack alone, full sweep vs the per-position cache.
+        let mut sp = sp0.clone();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        group.bench_function(BenchmarkId::new("pack_walk_full", n), |b| {
+            b.iter(|| {
+                perturb_pair(&mut sp, &mut rng);
+                pack_coords(&sp.positive, &sp.negative, &sp.shapes, &mut scratch, &mut x, &mut y)
+            })
+        });
+        let mut sp = sp0.clone();
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut pack_cache = PackCache::new();
+        group.bench_function(BenchmarkId::new("pack_walk_cached", n), |b| {
+            b.iter(|| {
+                perturb_pair(&mut sp, &mut rng);
+                pack_coords_cached(
+                    &sp.positive,
+                    &sp.negative,
+                    &sp.shapes,
+                    &mut scratch,
+                    &mut pack_cache,
+                    &mut x,
+                    &mut y,
+                )
+            })
+        });
+    }
+
+    // End-to-end cost evaluation (pack + realization + metrics + memo) on the
+    // largest paper circuit, with the incremental layers on and off.
+    let circuit = generators::bias19();
+    let problem = Problem::new(&circuit);
+    for (label, realize, metrics) in [
+        ("cost_walk_incremental", true, true),
+        ("cost_walk_full", false, false),
+    ] {
+        let mut cache = CostCache::new(&problem);
+        cache.set_incremental(realize);
+        cache.set_incremental_metrics(metrics);
+        let mut rng = StdRng::seed_from_u64(0x1C4E);
+        let mut walk = Candidate::random(problem.num_blocks(), &mut rng);
+        group.bench_function(BenchmarkId::new(label, "bias19"), |b| {
+            b.iter(|| {
+                let _ = walk.perturb(&mut rng);
+                problem.cost_cached(&walk, &mut cache)
             })
         });
     }

@@ -21,6 +21,21 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    // SA throughput is measured first, before the long pack/snap sweeps have
+    // kept the shared container busy for minutes — the ~10 ms SA runs are the
+    // most sensitive to scheduler/thermal contamination from earlier
+    // sections. Results are printed in their usual place below.
+    let sa_circuit = generators::bias19();
+    let config = SaConfig::table1();
+    // The untimed warm-up run (doubles as the fallback result value).
+    let mut sa_result = simulated_annealing(&sa_circuit, &config);
+    let mut sa_samples = Vec::new();
+    for _ in 0..5 {
+        let started = Instant::now();
+        sa_result = simulated_annealing(&sa_circuit, &config);
+        sa_samples.push(started.elapsed().as_secs_f64());
+    }
+
     let mut pack_rows = Vec::new();
     for &n in &PACK_SIZES {
         let sp = random_pair(n, 0xBEEF ^ n as u64);
@@ -71,51 +86,70 @@ fn main() {
     });
     println!("masks bias19: positional_masks {masks_ns:>12.1} ns");
 
-    // Incremental dirty-block realization vs the always-full path, on an
-    // SA-style perturbation walk over Bias-2: per-move cost and the fraction
-    // of blocks that skipped the snap search (kept prefix + replays).
+    // The incremental cost pipeline vs the always-full oracle paths, on an
+    // SA-style perturbation walk over Bias-2: per-move cost of (a) the full
+    // stack (dirty-block realization + dirty-set pack + dirty-set metrics),
+    // (b) incremental realization with the full metrics rescan, and (c) the
+    // all-full oracle — plus the engines' observability counters (snap-skip
+    // hit rate, FAST-SP pass-position replay rate).
     let circuit = generators::bias19();
     let problem = Problem::new(&circuit);
     let mut rng = StdRng::seed_from_u64(0x1C4E);
     let mut walk = Candidate::random(problem.num_blocks(), &mut rng);
     let mut inc_cache = CostCache::new(&problem);
     inc_cache.set_incremental(true);
+    inc_cache.set_incremental_metrics(true);
     let incremental_ns = median_ns(|| {
         let _ = walk.perturb(&mut rng);
         let _ = problem.cost_cached(&walk, &mut inc_cache);
     });
+    let mut mixed_cache = CostCache::new(&problem);
+    mixed_cache.set_incremental(true);
+    mixed_cache.set_incremental_metrics(false);
+    let realize_only_ns = median_ns(|| {
+        let _ = walk.perturb(&mut rng);
+        let _ = problem.cost_cached(&walk, &mut mixed_cache);
+    });
     let mut full_cache = CostCache::new(&problem);
     full_cache.set_incremental(false);
+    full_cache.set_incremental_metrics(false);
     let full_ns = median_ns(|| {
         let _ = walk.perturb(&mut rng);
         let _ = problem.cost_cached(&walk, &mut full_cache);
     });
     let stats = inc_cache.realize_stats();
     let hit_rate = stats.hit_rate();
+    let pack_replay_rate = stats.pack_stats().replay_rate();
     let realize_speedup = full_ns / incremental_ns.max(1e-9);
     println!(
-        "incremental bias19: {incremental_ns:>8.1} ns/move (full {full_ns:.1} ns, {realize_speedup:.2}x) hit rate {:.1}%",
-        100.0 * hit_rate
+        "incremental bias19: {incremental_ns:>8.1} ns/move (realize-only {realize_only_ns:.1} ns, full {full_ns:.1} ns, {realize_speedup:.2}x) snap hit {:.1}% pack replay {:.1}%",
+        100.0 * hit_rate,
+        100.0 * pack_replay_rate,
     );
 
     // SA throughput on the largest paper circuit (Bias-2, 19 blocks): full
-    // cost evaluations (pack + grid realization + reward) per second. One
-    // untimed warm-up run first: the Table I budget is only 4 000 moves, so a
-    // cold run is dominated by first-touch page faults and branch training
-    // rather than the steady-state cost the trajectory tracks.
-    let config = SaConfig::table1();
-    let _ = simulated_annealing(&circuit, &config);
-    let started = Instant::now();
-    let result = simulated_annealing(&circuit, &config);
-    let elapsed = started.elapsed().as_secs_f64();
+    // cost evaluations (pack + grid realization + reward) per second,
+    // measured at the top of `main` (before the long sweeps disturb the
+    // machine) after one untimed warm-up run — the Table I budget is only
+    // 4 000 moves, so a cold run is dominated by first-touch page faults and
+    // branch training rather than the steady-state cost the trajectory
+    // tracks. Each timed run lasts only ~10 ms, so a single sample is
+    // dominated by scheduler noise on the shared container — the median of
+    // 5 runs is reported, matching every other snapshot section.
+    let result = sa_result;
+    let mut samples = sa_samples;
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let elapsed = samples[samples.len() / 2];
     let moves_per_sec = result.evaluations as f64 / elapsed.max(1e-9);
     println!(
-        "sa bias19: {} evaluations in {elapsed:.3} s -> {moves_per_sec:.0} moves/s (reward {:.3})",
-        result.evaluations, result.reward
+        "sa bias19: {} evaluations in {elapsed:.3} s (median of {}) -> {moves_per_sec:.0} moves/s (reward {:.3})",
+        result.evaluations,
+        samples.len(),
+        result.reward
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization and positional masks; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3}\n  }},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, and positional masks; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
         pack_rows.join(",\n"),
         snap_rows.join(",\n"),
         mcircuit.name,
@@ -123,9 +157,11 @@ fn main() {
         circuit.name,
         circuit.num_blocks(),
         incremental_ns,
+        realize_only_ns,
         full_ns,
         realize_speedup,
         hit_rate,
+        pack_replay_rate,
         circuit.name,
         circuit.num_blocks(),
         config.iterations,

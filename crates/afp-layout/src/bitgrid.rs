@@ -147,6 +147,31 @@ impl BitGrid {
         }
     }
 
+    /// The free anchors of a single grid row: bit `x` of the result is 1 iff
+    /// [`BitGrid::fits`]`(Cell::new(x, y), gw, gh)` — the one-row slice of
+    /// [`BitGrid::free_anchors`], for searches that touch only a few rows
+    /// (the snap search probes a 7-row band around its start cell). The `gh`
+    /// covered rows are OR-combined first, so the horizontal run-of-`gw`
+    /// doubling runs once on the union: `gh + ⌈log₂ gw⌉` word ops answer all
+    /// 32 candidate columns of the row at once.
+    pub fn row_anchors(&self, y: usize, gw: usize, gh: usize) -> u32 {
+        if gw == 0 || gh == 0 || gw > GRID_SIZE || y + gh > GRID_SIZE {
+            return 0;
+        }
+        let mut occupied = 0u32;
+        for &row in &self.rows[y..y + gh] {
+            occupied |= row;
+        }
+        let mut m = !occupied;
+        let mut run = 1usize;
+        while run < gw {
+            let step = run.min(gw - run);
+            m &= m >> step;
+            run += step;
+        }
+        m
+    }
+
     /// The free-anchor map for a `gw × gh` footprint: bit `x` of entry `y` is
     /// 1 iff [`BitGrid::fits`]`(Cell::new(x, y), gw, gh)` — computed for all
     /// 1024 cells at once with the run-of-`gw` shift-AND doubling trick
@@ -325,6 +350,26 @@ mod tests {
         let g = BitGrid::new();
         assert_eq!(g.free_anchors(0, 1), [0; GRID_SIZE]);
         assert_eq!(g.free_anchors(33, 1), [0; GRID_SIZE]);
+    }
+
+    #[test]
+    fn row_anchors_match_the_full_anchor_map() {
+        let mut g = BitGrid::new();
+        g.set_rect(Cell::new(0, 0), 7, 3);
+        g.set_rect(Cell::new(20, 12), 5, 9);
+        g.set_rect(Cell::new(9, 28), 12, 4);
+        for &(gw, gh) in &[(1, 1), (2, 5), (5, 2), (7, 7), (32, 1), (1, 32)] {
+            let anchors = g.free_anchors(gw, gh);
+            for y in 0..GRID_SIZE {
+                assert_eq!(
+                    g.row_anchors(y, gw, gh),
+                    anchors[y],
+                    "row {y} diverges for {gw}x{gh}"
+                );
+            }
+        }
+        assert_eq!(g.row_anchors(0, 0, 1), 0);
+        assert_eq!(g.row_anchors(31, 1, 2), 0, "top-edge crossing row is empty");
     }
 
     #[test]

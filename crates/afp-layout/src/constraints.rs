@@ -68,35 +68,42 @@ fn placed_center_cells(floorplan: &Floorplan, block: BlockId) -> Option<(f64, f6
 /// The symmetry-axis coordinate (in fractional cells) implied by the blocks of
 /// the group that are already placed, if any: the mean of pair midpoints and
 /// self-symmetric centres along the axis-normal direction.
+///
+/// Accumulates the mean as a running sum in the same visitation order the
+/// historical `Vec`-collecting implementation pushed in, so the result is
+/// bit-identical — this runs per constraint per cost evaluation, and the
+/// allocation dominated the check.
 fn implied_axis(
     floorplan: &Floorplan,
     group: &afp_circuit::SymmetryGroup,
 ) -> Option<f64> {
-    let mut positions = Vec::new();
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
     for &(a, b) in &group.pairs {
         if let (Some(ca), Some(cb)) = (
             placed_center_cells(floorplan, a),
             placed_center_cells(floorplan, b),
         ) {
-            let mid = match group.axis {
+            sum += match group.axis {
                 Axis::Vertical => (ca.0 + cb.0) / 2.0,
                 Axis::Horizontal => (ca.1 + cb.1) / 2.0,
             };
-            positions.push(mid);
+            count += 1;
         }
     }
     for &s in &group.self_symmetric {
         if let Some(c) = placed_center_cells(floorplan, s) {
-            positions.push(match group.axis {
+            sum += match group.axis {
                 Axis::Vertical => c.0,
                 Axis::Horizontal => c.1,
-            });
+            };
+            count += 1;
         }
     }
-    if positions.is_empty() {
+    if count == 0 {
         None
     } else {
-        Some(positions.iter().sum::<f64>() / positions.len() as f64)
+        Some(sum / count as f64)
     }
 }
 
@@ -222,22 +229,42 @@ fn apply_alignment_mask(
 /// floorplan, or when the placed geometry breaks the symmetry / alignment
 /// relation by more than half a grid cell.
 pub fn count_violations(circuit: &Circuit, floorplan: &Floorplan) -> usize {
-    let mut violations = 0;
-    for constraint in circuit.constraints.iter() {
-        let members = constraint.members();
-        if members.iter().any(|&m| !floorplan.is_placed(m)) {
-            violations += 1;
-            continue;
+    circuit
+        .constraints
+        .iter()
+        .filter(|c| is_violated(floorplan, c))
+        .count()
+}
+
+/// Whether any constraint is violated — `count_violations(..) > 0` with an
+/// early-out on the first hit, for the reward gates that only read the
+/// boolean.
+pub fn has_violations(circuit: &Circuit, floorplan: &Floorplan) -> bool {
+    circuit.constraints.iter().any(|c| is_violated(floorplan, c))
+}
+
+/// Whether one constraint is violated by a floorplan — the per-constraint
+/// predicate [`count_violations`] counts, exposed so the incremental metrics
+/// layer can re-evaluate only the constraints whose members moved.
+///
+/// The missing-member check iterates the member lists directly rather than
+/// materializing `Constraint::members()` — this predicate runs per constraint
+/// per cost evaluation, where the `Vec` allocation dominated.
+pub fn is_violated(floorplan: &Floorplan, constraint: &Constraint) -> bool {
+    match constraint {
+        Constraint::Symmetry(group) => {
+            group
+                .pairs
+                .iter()
+                .any(|&(a, b)| !floorplan.is_placed(a) || !floorplan.is_placed(b))
+                || group.self_symmetric.iter().any(|&s| !floorplan.is_placed(s))
+                || symmetry_violated(floorplan, group)
         }
-        let violated = match constraint {
-            Constraint::Symmetry(group) => symmetry_violated(floorplan, group),
-            Constraint::Alignment(group) => alignment_violated(floorplan, group.axis, &group.blocks),
-        };
-        if violated {
-            violations += 1;
+        Constraint::Alignment(group) => {
+            group.blocks.iter().any(|&m| !floorplan.is_placed(m))
+                || alignment_violated(floorplan, group.axis, &group.blocks)
         }
     }
-    violations
 }
 
 fn symmetry_violated(floorplan: &Floorplan, group: &afp_circuit::SymmetryGroup) -> bool {

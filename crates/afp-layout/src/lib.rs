@@ -18,6 +18,25 @@
 //!   that the comparison against routing-ready floorplans is fair (§V-B),
 //! * [`export`]: ASCII / SVG rendering for the figure reproductions.
 //!
+//! # The incremental cost pipeline
+//!
+//! The optimizer hot path (pack → realize → metrics, millions of evaluations
+//! per Table I sweep) is incremental at every layer, each bit-identical to
+//! its from-scratch counterpart and differential-tested against it:
+//!
+//! * [`lcs_pack::PackCache`] / [`lcs_pack::pack_coords_cached`] — FAST-SP
+//!   sweeps replay their unchanged prefix/suffix positions,
+//! * [`RealizeCache`] / [`sequence_pair::realize_floorplan_incremental`] —
+//!   unchanged snap decisions are kept or replayed instead of re-searched,
+//!   and the engine exports the dirty-block set it re-searched,
+//! * [`metrics::MetricsScratch`] / [`metrics::episode_reward_incremental`] —
+//!   per-net HPWL terms and per-constraint violation flags are recomputed
+//!   only for the dirty set, with recomputation deferred past penalized
+//!   episodes.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full stack picture
+//! and the bit-identity contract.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,7 +70,7 @@ pub mod spacing;
 
 pub use bitgrid::BitGrid;
 pub use grid::{Canvas, Cell, DEFAULT_MAX_ASPECT_RATIO, GRID_SIZE};
-pub use lcs_pack::PackScratch;
+pub use lcs_pack::{PackCache, PackScratch};
 pub use masks::{Mask, StateMasks, STATE_CHANNELS};
 pub use metrics::{FloorplanMetrics, RewardWeights};
 pub use placement::{Floorplan, PlaceError, PlacedBlock};

@@ -81,7 +81,7 @@ use afp_circuit::{BlockId, Circuit, Shape};
 
 use crate::bitgrid::BitGrid;
 use crate::grid::{Canvas, Cell};
-use crate::lcs_pack::{pack_coords, PackScratch};
+use crate::lcs_pack::{pack_coords, pack_coords_cached, PackCache, PackScratch};
 use crate::placement::Floorplan;
 use crate::rect::Rect;
 
@@ -149,6 +149,26 @@ impl SequencePair {
 
     /// Packs into caller-provided scratch and output buffers; allocation-free
     /// once the buffers have grown to the problem size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use afp_circuit::Shape;
+    /// use afp_layout::sequence_pair::PackedFloorplan;
+    /// use afp_layout::{PackScratch, SequencePair};
+    ///
+    /// let mut sp = SequencePair::identity(vec![Shape::new(2.0, 3.0), Shape::new(4.0, 3.0)]);
+    /// let mut scratch = PackScratch::with_capacity(sp.len());
+    /// let mut out = PackedFloorplan::default();
+    /// sp.pack_into(&mut scratch, &mut out);
+    /// assert_eq!(out.positions, vec![(0.0, 0.0), (2.0, 0.0)]);
+    /// assert_eq!((out.width, out.height), (6.0, 3.0));
+    ///
+    /// // Reusing the same scratch, later packs allocate nothing once warm.
+    /// sp.negative.reverse(); // stack the blocks instead
+    /// sp.pack_into(&mut scratch, &mut out);
+    /// assert_eq!(out.height, 6.0);
+    /// ```
     pub fn pack_into(&self, scratch: &mut PackScratch, out: &mut PackedFloorplan) {
         let n = self.len();
         let (mut xs, mut ys) = scratch.take_coords();
@@ -433,6 +453,15 @@ pub struct RealizeCache {
     /// Snap decisions of the previous episode, in placement order; updated in
     /// place as the new episode is realized.
     steps: Vec<SnapStep>,
+    /// Per-position state of the incremental FAST-SP pack (the previous
+    /// evaluation's LCS sweeps); see [`PackCache`].
+    pack: PackCache,
+    /// Block indices re-searched by the most recent episode — the dirty set
+    /// the incremental metrics layer consumes ([`RealizeCache::dirty_blocks`]).
+    dirty: Vec<u32>,
+    /// Whether the most recent episode realized from scratch (the dirty set
+    /// is then the whole circuit).
+    last_full_rebuild: bool,
     /// Canvas of the cached episode.
     canvas: Option<Canvas>,
     /// Canvas scale factor of the cached episode.
@@ -472,6 +501,30 @@ impl RealizeCache {
     pub fn invalidate(&mut self) {
         self.canvas = None;
         self.steps.clear();
+        self.pack.invalidate();
+    }
+
+    /// Counters of the incremental FAST-SP pack engine riding in this cache
+    /// (positions replayed vs swept, per pass).
+    pub fn pack_stats(&self) -> &PackCache {
+        &self.pack
+    }
+
+    /// Block indices whose placement **may** differ from the episode before —
+    /// the blocks the most recent [`realize_floorplan_incremental`] call
+    /// re-ran the snap search for. Blocks absent from this set (kept prefix,
+    /// replays) provably kept their exact placement record, so downstream
+    /// consumers (the incremental metrics layer) can skip them. Meaningless
+    /// when [`RealizeCache::last_was_full_rebuild`] returns `true`.
+    pub fn dirty_blocks(&self) -> &[u32] {
+        &self.dirty
+    }
+
+    /// Whether the most recent episode realized from scratch (cold cache,
+    /// canvas/scale change, external floorplan mutation): every placement may
+    /// then differ and [`RealizeCache::dirty_blocks`] must not be trusted.
+    pub fn last_was_full_rebuild(&self) -> bool {
+        self.last_full_rebuild
     }
 
     /// Fraction of blocks across all episodes that skipped the snap search
@@ -487,10 +540,55 @@ impl RealizeCache {
 
 /// [`realize_floorplan`] through a [`RealizeCache`]: bit-identical output,
 /// but blocks whose snap inputs and observed occupancy are unchanged from the
-/// previous episode skip the snap search (module docs). `fp` must be the
-/// floorplan produced by the previous call with this cache (or any floorplan
-/// if the cache is fresh/invalidated — the fingerprint check degrades
-/// mismatches to a full rebuild).
+/// previous episode skip the snap search (module docs), and the FAST-SP pack
+/// itself replays its unchanged sweep positions ([`PackCache`]). `fp` must be
+/// the floorplan produced by the previous call with this cache (or any
+/// floorplan if the cache is fresh/invalidated — the fingerprint check
+/// degrades mismatches to a full rebuild).
+///
+/// After the call, [`RealizeCache::dirty_blocks`] /
+/// [`RealizeCache::last_was_full_rebuild`] describe which placements may have
+/// changed — the dirty set the incremental metrics layer
+/// (`afp_layout::metrics::episode_reward_incremental`) consumes.
+///
+/// # Examples
+///
+/// ```
+/// use afp_circuit::{generators, Shape};
+/// use afp_layout::sequence_pair::{realize_floorplan, realize_floorplan_incremental};
+/// use afp_layout::{Canvas, Floorplan, PackScratch, RealizeCache};
+///
+/// let circuit = generators::ota5();
+/// let canvas = Canvas::for_circuit(&circuit);
+/// let n = circuit.num_blocks();
+/// let mut shapes: Vec<Shape> = circuit
+///     .blocks
+///     .iter()
+///     .map(|b| Shape::from_area_and_aspect(b.area_um2, 1.0))
+///     .collect();
+/// let positive: Vec<usize> = (0..n).collect();
+/// let negative: Vec<usize> = (0..n).collect();
+///
+/// let mut scratch = PackScratch::with_capacity(n);
+/// let mut fp = Floorplan::new(canvas);
+/// let mut cache = RealizeCache::new();
+/// realize_floorplan_incremental(
+///     &positive, &negative, &shapes, &circuit, canvas, &mut scratch, &mut fp, &mut cache,
+/// );
+///
+/// // Perturb one block's shape: only the dirty suffix re-snaps, and the
+/// // result stays bit-identical to a from-scratch realization.
+/// shapes[2] = Shape::from_area_and_aspect(circuit.blocks[2].area_um2, 2.0);
+/// realize_floorplan_incremental(
+///     &positive, &negative, &shapes, &circuit, canvas, &mut scratch, &mut fp, &mut cache,
+/// );
+/// let mut fresh = Floorplan::new(canvas);
+/// realize_floorplan(
+///     &positive, &negative, &shapes, &circuit, canvas, &mut PackScratch::new(), &mut fresh,
+/// );
+/// assert_eq!(fp, fresh);
+/// assert!(cache.hit_rate() > 0.0, "the unchanged prefix was kept");
+/// ```
 #[allow(clippy::too_many_arguments)]
 pub fn realize_floorplan_incremental(
     positive: &[usize],
@@ -504,7 +602,10 @@ pub fn realize_floorplan_incremental(
 ) {
     let n = shapes.len();
     let (mut xs, mut ys) = scratch.take_coords();
-    let (width, height) = pack_coords(positive, negative, shapes, scratch, &mut xs, &mut ys);
+    // Incremental FAST-SP: positions with unchanged inputs replay the
+    // previous evaluation's sweep state (bit-identical to `pack_coords`).
+    let (width, height) =
+        pack_coords_cached(positive, negative, shapes, scratch, &mut cache.pack, &mut xs, &mut ys);
     let scale_x = if width > canvas.width_um {
         canvas.width_um / width
     } else {
@@ -525,6 +626,7 @@ pub fn realize_floorplan_incremental(
     cache.last_kept = 0;
     cache.last_replayed = 0;
     cache.last_searched = 0;
+    cache.dirty.clear();
     // The cached episode is reusable only if it was produced under the same
     // canvas/scale/block count AND `fp` still fingerprints as its output.
     let reusable = cache.canvas == Some(canvas)
@@ -533,6 +635,7 @@ pub fn realize_floorplan_incremental(
         && fp.canvas() == &canvas
         && fp.num_placed() == cache.placed_count
         && *fp.grid() == cache.final_grid;
+    cache.last_full_rebuild = !reusable;
 
     // Hoisted once per episode (bit-identical to the per-block calls the
     // full path's loop makes — same operands, same operations).
@@ -657,10 +760,17 @@ pub fn realize_floorplan_incremental(
             anchor_y: anchor.map_or(0, |c| c.y as u8),
         };
         if full_rebuild {
+            // The dirty list stays empty: a full rebuild reports itself via
+            // `last_was_full_rebuild` and consumers treat everything as dirty.
             cache.steps.push(step);
         } else {
             grid_matches = grid_matches && step.same_footprint(&cache.steps[pos]);
             cache.steps[pos] = step;
+            // Conservative superset: every re-searched block is reported,
+            // including the many that land exactly where they did the episode
+            // before — consumers dedup and filter by actual movement, which
+            // is cheaper than a precise per-step comparison here.
+            cache.dirty.push(i as u32);
         }
         cache.searched_blocks += 1;
         cache.last_searched += 1;
@@ -686,16 +796,21 @@ const PROBE_RADIUS: usize = 3;
 /// returning `None` if the grid is exhausted.
 ///
 /// The fast path is a single word-level [`Floorplan::fits`] probe at `start`.
-/// On a miss, rings of Chebyshev radius 1..=[`PROBE_RADIUS`] are probed
-/// cell-by-cell in the historical spiral order (radius ascending, then Δy
-/// from −r to r, then Δx ascending). Only when those all miss — rare outside
+/// On a miss, rings of Chebyshev radius 1..=[`PROBE_RADIUS`] are resolved
+/// from per-row anchor masks
+/// ([`BitGrid::row_anchors`](crate::bitgrid::BitGrid::row_anchors), computed
+/// lazily for the 7-row band and cached across radii): a whole ring row's
+/// candidates are answered by one mask AND instead of per-cell probes that
+/// each re-AND the `gh` covered rows. Only when those all miss — rare outside
 /// near-full grids — one
 /// [`BitGrid::free_anchors`](crate::bitgrid::BitGrid::free_anchors) pass
 /// answers "where does this footprint fit?" for all 1024 cells at once, and
 /// [`nearest_anchor_from`](crate::bitgrid::nearest_anchor_from) continues the
-/// identical scan from radius `PROBE_RADIUS + 1`. Every tier visits
-/// candidates in the same order as the scalar spiral scan, so placements are
-/// bit-identical to the historical path.
+/// identical scan from radius `PROBE_RADIUS + 1`. Candidates are considered
+/// in the historical spiral order (radius ascending, then Δy from −r to r,
+/// then Δx ascending) with the per-cell [`BitGrid::fits`] predicate exactly
+/// (an anchor-mask bit ⟺ `fits`), so placements are bit-identical to the
+/// historical path.
 pub fn find_nearest_fit(
     fp: &Floorplan,
     start: crate::grid::Cell,
@@ -706,30 +821,44 @@ pub fn find_nearest_fit(
         return Some(start);
     }
     let grid_size = crate::grid::GRID_SIZE as isize;
+    // Anchor masks of the probed band, keyed by Δy, filled on first use.
+    let mut band = [None::<u32>; 2 * PROBE_RADIUS + 1];
+    let mut row_anchors = |dy: isize, fp: &Floorplan| -> u32 {
+        let y = start.y as isize + dy;
+        if !(0..grid_size).contains(&y) {
+            return 0;
+        }
+        *band[(dy + PROBE_RADIUS as isize) as usize]
+            .get_or_insert_with(|| fp.grid().row_anchors(y as usize, gw, gh))
+    };
     for radius in 1..=(PROBE_RADIUS as isize) {
         for dy in -radius..=radius {
             let y = start.y as isize + dy;
             if !(0..grid_size).contains(&y) {
                 continue;
             }
+            let anchors = row_anchors(dy, fp);
+            if anchors == 0 {
+                continue;
+            }
             if dy.abs() == radius {
-                // Ring boundary row: all Δx, ascending.
-                for dx in -radius..=radius {
-                    let x = start.x as isize + dx;
-                    if (0..grid_size).contains(&x)
-                        && fp.fits(Cell::new(x as usize, y as usize), gw, gh)
-                    {
-                        return Some(Cell::new(x as usize, y as usize));
-                    }
+                // Ring boundary row: all Δx ascending ⇒ the lowest set
+                // anchor bit in the clamped window [x − r, x + r].
+                let lo = (start.x as isize - radius).max(0);
+                let hi = (start.x as isize + radius).min(grid_size - 1);
+                let window = (((1u64 << (hi - lo + 1)) - 1) as u32) << lo;
+                let hits = anchors & window;
+                if hits != 0 {
+                    return Some(Cell::new(hits.trailing_zeros() as usize, y as usize));
                 }
             } else {
                 // Interior row: only Δx = −r then Δx = +r are on the ring.
                 let left = start.x as isize - radius;
-                if left >= 0 && fp.fits(Cell::new(left as usize, y as usize), gw, gh) {
+                if left >= 0 && (anchors >> left) & 1 == 1 {
                     return Some(Cell::new(left as usize, y as usize));
                 }
                 let right = start.x as isize + radius;
-                if right < grid_size && fp.fits(Cell::new(right as usize, y as usize), gw, gh) {
+                if right < grid_size && (anchors >> right) & 1 == 1 {
                     return Some(Cell::new(right as usize, y as usize));
                 }
             }

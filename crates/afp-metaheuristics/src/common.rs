@@ -292,10 +292,37 @@ impl Problem {
 
     /// [`Problem::cost`] through a [`CostCache`]: identical values, but
     /// repeated evaluations reuse every buffer (pack scratch, shapes,
-    /// floorplan, HPWL centers) and candidates seen recently — e.g. the
-    /// pre-move state SA returns to after a rejected move, or a GA elite
-    /// carried into the next generation — are answered from the memo without
-    /// re-packing.
+    /// floorplan, HPWL centers), run the incremental cost pipeline
+    /// (dirty-set pack → dirty-block realization → dirty-set metrics), and
+    /// candidates seen recently — e.g. the pre-move state SA returns to after
+    /// a rejected move, or a GA elite carried into the next generation — are
+    /// answered from the memo without re-packing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use afp_circuit::generators;
+    /// use afp_metaheuristics::{Candidate, CostCache, Problem};
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let circuit = generators::ota5();
+    /// let problem = Problem::new(&circuit);
+    /// let mut cache = CostCache::new(&problem);
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let mut candidate = Candidate::random(problem.num_blocks(), &mut rng);
+    ///
+    /// let cost = problem.cost_cached(&candidate, &mut cache);
+    /// assert_eq!(cost, problem.cost(&candidate), "bit-identical to the uncached path");
+    ///
+    /// // A rejected SA move: perturb, evaluate, undo — the revert is
+    /// // answered from the memo without re-packing anything.
+    /// let undo = candidate.perturb(&mut rng);
+    /// let _ = problem.cost_cached(&candidate, &mut cache);
+    /// candidate.undo(undo);
+    /// assert_eq!(problem.cost_cached(&candidate, &mut cache), cost);
+    /// assert!(cache.hits >= 1);
+    /// ```
     pub fn cost_cached(&self, candidate: &Candidate, cache: &mut CostCache) -> f64 {
         let key = candidate_key(candidate);
         if let Some(cost) = cache.lookup(key) {
@@ -334,13 +361,39 @@ impl Problem {
             // floorplan it did not produce.
             cache.realize.invalidate();
         }
-        let cost = -metrics::episode_reward_with(
-            &self.circuit,
-            &cache.floorplan,
-            self.hpwl_min,
-            &self.weights,
-            &mut cache.metrics,
-        );
+        let cost = if cache.use_incremental && cache.use_incremental_metrics {
+            // Incremental metrics: the realization engine just reported which
+            // blocks it re-searched; only their incident nets and constraints
+            // are re-evaluated. Bit-identical to the full rescan below.
+            let dirty = if cache.realize.last_was_full_rebuild() {
+                metrics::DirtySet::Full
+            } else {
+                metrics::DirtySet::Blocks(cache.realize.dirty_blocks())
+            };
+            -metrics::episode_reward_incremental(
+                &self.circuit,
+                &cache.floorplan,
+                self.hpwl_min,
+                &self.weights,
+                &mut cache.metrics,
+                dirty,
+            )
+        } else {
+            // Full rescan (the metrics oracle). It does not maintain the
+            // incremental term state — and its penalty gate can return before
+            // the center fill that would drop that state runs — so the state
+            // is invalidated explicitly here; switching paths mid-run then
+            // just costs the next incremental call a full term refresh.
+            let cost = -metrics::episode_reward_with(
+                &self.circuit,
+                &cache.floorplan,
+                self.hpwl_min,
+                &self.weights,
+                &mut cache.metrics,
+            );
+            cache.metrics.invalidate_terms();
+            cost
+        };
         cache.insert(key, cost);
         cost
     }
@@ -350,11 +403,38 @@ impl Problem {
 const MEMO_SLOTS: usize = 1024;
 
 /// Reusable evaluation state for the metaheuristic inner loops: the FAST-SP
-/// pack scratch, shape / floorplan / metric buffers, and a small
-/// direct-mapped memo keyed on a candidate fingerprint.
+/// pack scratch, shape / floorplan / metric buffers, the incremental
+/// realization and metrics engines, and a small direct-mapped memo keyed on
+/// a candidate fingerprint.
+///
+/// This is the optimizer-facing handle on the incremental cost pipeline
+/// (see `ARCHITECTURE.md`, *The four-layer incremental stack*): by default
+/// [`Problem::cost_cached`] realizes through the dirty-block engine and
+/// evaluates HPWL / violations through the dirty-set term cache, both
+/// bit-identical to the full paths. The `full-realize` and `full-metrics`
+/// features (or [`CostCache::set_incremental`] /
+/// [`CostCache::set_incremental_metrics`] at runtime) select the retained
+/// full-rescan oracles instead.
 ///
 /// One `CostCache` is owned per optimizer run (it is keyed to one
-/// [`Problem`]'s canvas); sharing it across problems would mix canvases.
+/// [`Problem`]'s canvas and circuit); sharing it across problems would mix
+/// canvases.
+///
+/// # Examples
+///
+/// ```
+/// use afp_circuit::generators;
+/// use afp_metaheuristics::{Candidate, CostCache, Problem};
+///
+/// let circuit = generators::ota3();
+/// let problem = Problem::new(&circuit);
+/// let mut cache = CostCache::new(&problem);
+/// let c = Candidate::identity(problem.num_blocks(), problem.shape_sets());
+/// assert_eq!(problem.cost_cached(&c, &mut cache), problem.cost(&c));
+/// // The cache exposes its counters for observability (see also
+/// // `CostCache::realize_stats` for the realization engine's).
+/// assert_eq!((cache.hits, cache.misses), (0, 1));
+/// ```
 #[derive(Debug)]
 pub struct CostCache {
     pack: PackScratch,
@@ -367,6 +447,13 @@ pub struct CostCache {
     /// the always-full oracle path (`full-realize` feature default, or
     /// [`CostCache::set_incremental`]). Both produce bit-identical costs.
     use_incremental: bool,
+    /// Whether `cost_cached` evaluates HPWL / violations through the
+    /// incremental per-net / per-constraint term cache (the default) or the
+    /// full rescan (`full-metrics` feature default, or
+    /// [`CostCache::set_incremental_metrics`]). The incremental path needs
+    /// the realization engine's dirty set, so it engages only while
+    /// `use_incremental` is also on. Both produce bit-identical costs.
+    use_incremental_metrics: bool,
     shapes: Vec<Shape>,
     /// `(fingerprint, cost)` slots; fingerprint 0 marks an empty slot.
     memo: Vec<(u64, f64)>,
@@ -388,6 +475,7 @@ impl CostCache {
             floorplan: Floorplan::new(problem.canvas),
             realize: RealizeCache::new(),
             use_incremental: !cfg!(feature = "full-realize"),
+            use_incremental_metrics: !cfg!(feature = "full-metrics"),
             shapes: Vec::with_capacity(n),
             memo: vec![(0, 0.0); MEMO_SLOTS],
             hits: 0,
@@ -399,6 +487,15 @@ impl CostCache {
     /// tests and the perf snapshot to compare both engines in one build).
     pub fn set_incremental(&mut self, incremental: bool) {
         self.use_incremental = incremental;
+    }
+
+    /// Selects the metrics path at runtime: incremental per-net /
+    /// per-constraint terms vs the full rescan oracle. The incremental path
+    /// additionally requires incremental realization (it consumes that
+    /// engine's dirty set); with [`CostCache::set_incremental`]`(false)` this
+    /// flag is ignored and the full rescan runs.
+    pub fn set_incremental_metrics(&mut self, incremental: bool) {
+        self.use_incremental_metrics = incremental;
     }
 
     /// Drops the incremental engine's cached episode. Candidate mutations
@@ -604,21 +701,29 @@ mod tests {
     #[test]
     fn incremental_cost_matches_full_along_sa_walk() {
         // The guarantee SA/GA/PSO rely on: along a realistic perturb/undo
-        // walk, the incremental realization engine returns bit-identical
-        // costs to the always-full oracle path, while actually hitting.
+        // walk, every incremental layer combination (dirty-block realization
+        // × dirty-set metrics) returns bit-identical costs to the always-full
+        // oracle path, while actually hitting.
         let circuit = generators::bias19();
         let problem = Problem::new(&circuit);
         let mut incremental = CostCache::new(&problem);
         incremental.set_incremental(true);
+        incremental.set_incremental_metrics(true);
+        let mut inc_realize_only = CostCache::new(&problem);
+        inc_realize_only.set_incremental(true);
+        inc_realize_only.set_incremental_metrics(false);
         let mut full = CostCache::new(&problem);
         full.set_incremental(false);
+        full.set_incremental_metrics(false);
         let mut rng = StdRng::seed_from_u64(0xD1FF);
         let mut c = Candidate::random(problem.num_blocks(), &mut rng);
         for step in 0..600 {
             let undo = c.perturb(&mut rng);
             let a = problem.cost_cached(&c, &mut incremental);
             let b = problem.cost_cached(&c, &mut full);
+            let m = problem.cost_cached(&c, &mut inc_realize_only);
             assert_eq!(a, b, "cost diverged at step {step}");
+            assert_eq!(a, m, "metrics-path cost diverged at step {step}");
             assert_eq!(a, problem.cost(&c), "cached cost diverged at step {step}");
             // Reject about half the moves, as SA would.
             if step % 2 == 0 {
@@ -627,7 +732,45 @@ mod tests {
         }
         let stats = incremental.realize_stats();
         assert!(stats.hit_rate() > 0.0, "incremental engine never hit");
+        assert!(
+            stats.pack_stats().replay_rate() > 0.0,
+            "incremental pack never replayed"
+        );
         assert_eq!(full.realize_stats().episodes, 0, "oracle path must bypass the engine");
+    }
+
+    #[test]
+    fn metrics_path_can_be_toggled_mid_run() {
+        // Switching between the incremental and full metrics paths on a warm
+        // cache must stay bit-identical: the full path does not maintain the
+        // term state (and its penalty gate can skip the center fill
+        // entirely), so `cost_cached` invalidates it explicitly. Run on
+        // circuits that mix feasible and penalized episodes — on a
+        // penalty-only walk both paths return the constant penalty and a
+        // stale-term bug would be invisible.
+        for circuit in [generators::ota3(), generators::ota8(), generators::bias19()] {
+            let problem = Problem::new(&circuit);
+            let mut cache = CostCache::new(&problem);
+            cache.set_incremental(true);
+            let mut rng = StdRng::seed_from_u64(0x706);
+            let mut c = Candidate::random(problem.num_blocks(), &mut rng);
+            let mut feasible = 0u32;
+            for step in 0..200 {
+                let _ = c.perturb(&mut rng);
+                cache.set_incremental_metrics(step % 3 != 2);
+                let cost = problem.cost_cached(&c, &mut cache);
+                assert_eq!(
+                    cost,
+                    problem.cost(&c),
+                    "toggled cost diverged at step {step} on {}",
+                    circuit.name
+                );
+                feasible += (cost < 49.0) as u32;
+            }
+            if circuit.num_blocks() <= 5 {
+                assert!(feasible > 0, "walk never feasible: the toggle test is vacuous");
+            }
+        }
     }
 
     #[test]

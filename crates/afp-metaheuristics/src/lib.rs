@@ -15,6 +15,13 @@
 //! floorplans of the R-GCN + RL method, and every baseline reports the same
 //! [`BaselineResult`] (runtime, HPWL, dead space, reward) that Table I lists.
 //!
+//! All baselines evaluate candidates through [`Problem::cost_cached`] and a
+//! shared [`CostCache`], which runs `afp-layout`'s incremental cost pipeline
+//! (dirty-set FAST-SP pack → dirty-block grid realization → dirty-set
+//! HPWL/violation metrics) — bit-identical to the full recomputation, which
+//! is retained behind the `full-realize` / `full-metrics` oracle features.
+//! See `ARCHITECTURE.md` at the repository root.
+//!
 //! # Examples
 //!
 //! ```
@@ -41,7 +48,7 @@ pub use common::{BaselineResult, Candidate, CostCache, PerturbUndo, Problem};
 pub use ga::{genetic_algorithm, GaConfig};
 pub use pso::{particle_swarm, PsoConfig};
 pub use rl_sa::{rl_sa, RlSaConfig};
-pub use sa::{simulated_annealing, simulated_annealing_on, SaConfig};
+pub use sa::{simulated_annealing, simulated_annealing_on, simulated_annealing_with_cache, SaConfig};
 pub use sp_rl::{sequence_pair_rl, SpRlConfig};
 
 use afp_circuit::Circuit;

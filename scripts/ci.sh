@@ -12,18 +12,28 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q --workspace   # superset of tier-1's `cargo test -q`
 
-# Incremental-realization safety net: the differential proptests (incremental
-# vs full realization bit-identity, FAST-SP vs legacy oracle, BitGrid vs
+# Incremental-pipeline safety net: the differential proptests (incremental vs
+# full realization bit-identity, incremental FAST-SP pack vs full sweep,
+# incremental metrics vs full rescan, FAST-SP vs legacy oracle, BitGrid vs
 # scalar oracle) run as part of the workspace tests above; run them once more
 # by name so a filtered or partially-cached test run cannot silently skip
-# them, then run the metaheuristics tests again with the `full-realize`
-# oracle path as the CostCache default.
-diff_out="$(cargo test --test properties \
-    incremental_realize_matches_full_after_perturbation_sequences 2>&1)" \
-    || { echo "$diff_out"; exit 1; }
-echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
-    || { echo "ci: differential proptest filter matched no tests" >&2; exit 1; }
+# them, then run the metaheuristics tests again with each feature-gated
+# oracle (`full-realize`, `full-metrics`) as the CostCache default.
+for diff_test in \
+    incremental_realize_matches_full_after_perturbation_sequences \
+    incremental_pack_matches_full_on_perturbation_walks \
+    incremental_metrics_match_full_rescan_oracle; do
+    diff_out="$(cargo test --test properties "$diff_test" 2>&1)" \
+        || { echo "$diff_out"; exit 1; }
+    echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
+        || { echo "ci: differential proptest filter '$diff_test' matched no tests" >&2; exit 1; }
+done
 cargo test -q -p afp-metaheuristics --features full-realize
+cargo test -q -p afp-metaheuristics --features full-metrics
+
+# Rustdoc is part of the public API surface: build the workspace docs with
+# warnings denied so broken intra-doc links or missing docs fail CI.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 cargo bench --no-run
 
@@ -45,9 +55,11 @@ with open(sys.argv[1]) as f:
 for section in ("pack", "snap", "masks", "incremental_realize", "sa"):
     assert section in snap, f"missing snapshot section: {section}"
 inc = snap["incremental_realize"]
-for key in ("incremental_move_ns", "full_move_ns", "speedup", "replay_hit_rate"):
+for key in ("incremental_move_ns", "incremental_realize_full_metrics_move_ns",
+            "full_move_ns", "speedup", "replay_hit_rate", "pack_replay_rate"):
     assert key in inc, f"missing incremental_realize key: {key}"
 assert 0.0 <= inc["replay_hit_rate"] <= 1.0, "hit rate out of range"
+assert 0.0 <= inc["pack_replay_rate"] <= 1.0, "pack replay rate out of range"
 PY
 else
     echo "ci: python3 not found, skipping BENCH_pack.json JSON validation" >&2

@@ -421,6 +421,153 @@ proptest! {
         }
     }
 
+    /// Differential test of the incremental FAST-SP pack: after any random
+    /// perturbation sequence (s⁺/s⁻ swaps, shape changes, identical
+    /// repeats), `pack_coords_cached` through a warm `PackCache` must return
+    /// coordinates and enclosing dimensions bit-identical to a fresh
+    /// `pack_coords` sweep — across both the linear-scan (n ≤ 32) and the
+    /// Fenwick engine.
+    #[test]
+    fn incremental_pack_matches_full_on_perturbation_walks(
+        seed in 0u64..1_000_000,
+        n in 2usize..48,
+        moves in 1usize..16,
+    ) {
+        use analog_floorplan::layout::lcs_pack::{pack_coords, pack_coords_cached, PackCache};
+        use analog_floorplan::layout::PackScratch;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut shapes: Vec<Shape> = (0..n)
+            .map(|_| Shape::new(rng.gen_range(0.5..25.0), rng.gen_range(0.5..25.0)))
+            .collect();
+        let mut positive: Vec<usize> = (0..n).collect();
+        let mut negative: Vec<usize> = (0..n).collect();
+        positive.shuffle(&mut rng);
+        negative.shuffle(&mut rng);
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut cache = PackCache::new();
+        let (mut x, mut y) = (Vec::new(), Vec::new());
+        for _ in 0..moves {
+            match rng.gen_range(0..4) {
+                0 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    positive.swap(i, j);
+                }
+                1 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    negative.swap(i, j);
+                }
+                2 => {
+                    let b = rng.gen_range(0..n);
+                    shapes[b] = Shape::new(rng.gen_range(0.5..25.0), rng.gen_range(0.5..25.0));
+                }
+                _ => {} // identical evaluation: both passes replay outright
+            }
+            let (w, h) = pack_coords_cached(
+                &positive, &negative, &shapes, &mut scratch, &mut cache, &mut x, &mut y,
+            );
+            let mut fresh_scratch = PackScratch::with_capacity(n);
+            let (mut fx, mut fy) = (Vec::new(), Vec::new());
+            let (fw, fh) =
+                pack_coords(&positive, &negative, &shapes, &mut fresh_scratch, &mut fx, &mut fy);
+            prop_assert_eq!(&x, &fx, "x coordinates diverged");
+            prop_assert_eq!(&y, &fy, "y coordinates diverged");
+            prop_assert_eq!((w, h), (fw, fh), "enclosing dimensions diverged");
+        }
+    }
+
+    /// Differential test of the incremental metrics engine against the
+    /// full-rescan oracle: along random perturbation walks the dirty-set
+    /// evaluation (per-net HPWL terms, per-constraint violation flags,
+    /// deferred across penalized episodes) must report HPWL, violation
+    /// count and episode reward bit-identical to `metrics_with` +
+    /// `count_violations` + `episode_reward` recomputed from scratch.
+    #[test]
+    fn incremental_metrics_match_full_rescan_oracle(
+        seed in 0u64..1_000_000,
+        moves in 1usize..14,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::layout::metrics::{
+            episode_reward_incremental, metrics_incremental, DirtySet, MetricsScratch,
+        };
+        use analog_floorplan::layout::sequence_pair::realize_floorplan_incremental;
+        use analog_floorplan::layout::{PackScratch, RealizeCache};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = generators::random_circuit(&mut rng);
+        let canvas = Canvas::for_circuit(&circuit);
+        let n = circuit.num_blocks();
+        let mut positive: Vec<usize> = (0..n).collect();
+        let mut negative: Vec<usize> = (0..n).collect();
+        positive.shuffle(&mut rng);
+        negative.shuffle(&mut rng);
+        let mut shapes: Vec<Shape> = (0..n)
+            .map(|_| Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0)))
+            .collect();
+        let hpwl_min = metrics::hpwl_lower_bound(&circuit);
+        let weights = metrics::RewardWeights::default();
+
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::new(canvas);
+        let mut cache = RealizeCache::new();
+        // Two scratches walked through the same dirty stream: one consumed by
+        // the reward evaluation (exercising the penalty deferral), one by the
+        // metric-snapshot evaluation (exercising the exact flush).
+        let mut reward_scratch = MetricsScratch::new();
+        let mut snapshot_scratch = MetricsScratch::new();
+
+        for _ in 0..moves {
+            match rng.gen_range(0..4) {
+                0 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    positive.swap(i, j);
+                }
+                1 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    negative.swap(i, j);
+                }
+                2 => {
+                    let b = rng.gen_range(0..n);
+                    shapes[b] = Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0));
+                }
+                _ => {} // identical episode: empty dirty set
+            }
+            realize_floorplan_incremental(
+                &positive, &negative, &shapes, &circuit, canvas, &mut scratch, &mut fp,
+                &mut cache,
+            );
+            let dirty = || {
+                if cache.last_was_full_rebuild() {
+                    DirtySet::Full
+                } else {
+                    DirtySet::Blocks(cache.dirty_blocks())
+                }
+            };
+
+            // Full-rescan oracle, fresh state every episode.
+            let expected_metrics = metrics::metrics(&circuit, &fp);
+            let expected_violations =
+                analog_floorplan::layout::constraints::count_violations(&circuit, &fp);
+            let expected_reward = metrics::episode_reward(&circuit, &fp, hpwl_min, &weights);
+
+            let reward = episode_reward_incremental(
+                &circuit, &fp, hpwl_min, &weights, &mut reward_scratch, dirty(),
+            );
+            prop_assert_eq!(reward, expected_reward, "episode reward diverged");
+
+            let (m, violations) =
+                metrics_incremental(&circuit, &fp, &mut snapshot_scratch, dirty());
+            prop_assert_eq!(m.hpwl_um, expected_metrics.hpwl_um, "HPWL diverged");
+            prop_assert_eq!(m.dead_space, expected_metrics.dead_space);
+            prop_assert_eq!(m.area_um2, expected_metrics.area_um2);
+            prop_assert_eq!(m.aspect_ratio, expected_metrics.aspect_ratio);
+            prop_assert_eq!(violations, expected_violations, "violation count diverged");
+        }
+    }
+
     /// `realize_floorplan` (pack → scale → snap → bitboard nearest-fit) must
     /// produce placements bit-identical to the pre-refactor scalar path
     /// (same pack, scalar occupancy grid, spiral nearest-fit scan).
