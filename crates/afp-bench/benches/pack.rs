@@ -18,6 +18,15 @@
 //!   incremental layers on and off.
 //! * `masks` — positional-mask (`f_p`) construction from the free-anchor
 //!   bitmask, the per-step cost of the RL env and mask-dataset builds.
+//! * `eval_pool` — a GA-style 40-candidate generation on Bias-2, evaluated
+//!   through the serial `cost_cached` loop and through the `EvalPool` at
+//!   1/2/4 workers. On a multi-core host the pool amortizes one scoped
+//!   thread spawn per generation; on a single hardware thread (the CI
+//!   container) the 1-worker row is the meaningful one — it must match the
+//!   serial loop, the engine's zero-overhead contract.
+//! * `sa_locality` — the end-to-end `cost_cached` SA walk under the
+//!   locality-aware move mix at biases 0 / 0.5 / 0.9: how much adjacent
+//!   swaps shrink the incremental pipeline's dirty sets per move.
 //!
 //! Run with `cargo bench --bench pack`; `bench_snapshot` records the same
 //! workloads into `BENCH_pack.json` for cross-PR comparison.
@@ -30,7 +39,7 @@ use afp_layout::lcs_pack::{pack_coords, pack_coords_cached};
 use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, realize_floorplan_incremental, PackedFloorplan};
 use afp_layout::{Floorplan, PackCache, PackScratch, RealizeCache};
-use afp_metaheuristics::{Candidate, CostCache, Problem};
+use afp_metaheuristics::{Candidate, CostCache, EvalPool, MoveMix, Problem};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -191,5 +200,81 @@ fn bench_masks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pack, bench_snap, bench_incremental, bench_masks);
+/// One GA generation (40 candidates, Bias-2) through the serial loop and the
+/// EvalPool. Every candidate is perturbed between iterations so the memo
+/// cannot short-circuit the evaluations — the workload is the steady-state
+/// generation-over-generation drift GA actually produces.
+fn bench_eval_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_pool");
+    group.sample_size(20);
+    let circuit = generators::bias19();
+    let problem = Problem::new(&circuit);
+    const POPULATION: usize = 40;
+
+    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    let mut generation: Vec<Candidate> = (0..POPULATION)
+        .map(|_| Candidate::random(problem.num_blocks(), &mut rng))
+        .collect();
+
+    let mut cache = CostCache::new(&problem);
+    group.bench_function(BenchmarkId::new("serial_generation", POPULATION), |b| {
+        b.iter(|| {
+            for candidate in &mut generation {
+                let _ = candidate.perturb(&mut rng);
+            }
+            generation
+                .iter()
+                .map(|c| problem.cost_cached(c, &mut cache))
+                .sum::<f64>()
+        })
+    });
+
+    for workers in [1usize, 2, 4] {
+        let mut pool = EvalPool::new(&problem, workers);
+        let mut rng = StdRng::seed_from_u64(0xE7A1 ^ workers as u64);
+        group.bench_function(BenchmarkId::new("pool_generation", workers), |b| {
+            b.iter(|| {
+                for candidate in &mut generation {
+                    let _ = candidate.perturb(&mut rng);
+                }
+                pool.evaluate(&problem, &generation).iter().sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The SA cost walk under the locality-aware move mix: identical machinery to
+/// `incremental/cost_walk_incremental`, but with the proposal distribution
+/// biased toward adjacent swaps — the knob that actually shrinks the
+/// dirty sets the PR 3/4 engines diff against.
+fn bench_sa_locality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_locality");
+    group.sample_size(20);
+    let circuit = generators::bias19();
+    let problem = Problem::new(&circuit);
+    for (label, bias) in [("uniform", 0.0), ("bias_50", 0.5), ("bias_90", 0.9)] {
+        let mix = MoveMix::local(bias);
+        let mut cache = CostCache::new(&problem);
+        let mut rng = StdRng::seed_from_u64(0x10CA);
+        let mut walk = Candidate::random(problem.num_blocks(), &mut rng);
+        group.bench_function(BenchmarkId::new("cost_walk", label), |b| {
+            b.iter(|| {
+                let _ = walk.perturb_with(&mix, &mut rng);
+                problem.cost_cached(&walk, &mut cache)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pack,
+    bench_snap,
+    bench_incremental,
+    bench_masks,
+    bench_eval_pool,
+    bench_sa_locality
+);
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Reproducible perf snapshot: writes `BENCH_pack.json` with the packing
 //! engines' median times, the grid-realization (`snap`), incremental
 //! dirty-block realization (`incremental_realize`, per-move cost + replay
-//! hit rate) and positional-mask (`masks`) medians, and the SA evaluation
-//! throughput, so every PR that touches the hot path has a trajectory to
-//! compare against.
+//! hit rate), positional-mask (`masks`), parallel generation-evaluation
+//! (`eval_pool`) and locality-aware move mix (`sa_locality`) medians, and
+//! the SA evaluation throughput, so every PR that touches the hot path has
+//! a trajectory to compare against.
 //!
 //! Usage: `cargo run --release -p afp-bench --bin bench_snapshot`
 //! (run from the repository root; the snapshot is written to
@@ -16,7 +17,9 @@ use afp_circuit::generators;
 use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
 use afp_layout::{Floorplan, PackScratch};
-use afp_metaheuristics::{simulated_annealing, Candidate, CostCache, Problem, SaConfig};
+use afp_metaheuristics::{
+    simulated_annealing, Candidate, CostCache, EvalPool, MoveMix, Problem, SaConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -35,6 +38,103 @@ fn main() {
         sa_result = simulated_annealing(&sa_circuit, &config);
         sa_samples.push(started.elapsed().as_secs_f64());
     }
+
+    // Parallel generation evaluation (EvalPool): a GA-style 40-candidate
+    // generation on Bias-2 through the serial `cost_cached` loop and through
+    // the pool at 1/2/4 workers — measured here, while the machine is still
+    // quiet, for the same reason SA is. Bit-identity of the pool against the
+    // serial loop is asserted outright: a divergence aborts the snapshot and
+    // with it the CI smoke run.
+    let pool_problem = Problem::new(&sa_circuit);
+    const POPULATION: usize = 40;
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut rng = StdRng::seed_from_u64(0xE7A1);
+    let initial_generation: Vec<Candidate> = (0..POPULATION)
+        .map(|_| Candidate::random(pool_problem.num_blocks(), &mut rng))
+        .collect();
+    let bit_identical = {
+        let mut check_cache = CostCache::new(&pool_problem);
+        let serial_costs: Vec<f64> = initial_generation
+            .iter()
+            .map(|c| pool_problem.cost_cached(c, &mut check_cache))
+            .collect();
+        [1usize, 2, 4].into_iter().all(|workers| {
+            let mut pool = EvalPool::new(&pool_problem, workers);
+            pool.evaluate(&pool_problem, &initial_generation) == serial_costs
+        })
+    };
+    // The recorded verdict is the computed one; a divergence still aborts the
+    // snapshot (and with it the CI smoke run) rather than writing `false`.
+    assert!(bit_identical, "EvalPool diverged from the serial loop");
+    // Every timing row restarts from the same population and perturbation
+    // stream, so serial and 1/2/4-worker rows time the identical candidate
+    // workload and their ratio (speedup_workers4) is workload-matched.
+    let time_row = |pool_workers: Option<usize>| -> f64 {
+        let mut generation = initial_generation.clone();
+        let mut rng = StdRng::seed_from_u64(0x6E21);
+        let mut cache = CostCache::new(&pool_problem);
+        let mut pool = pool_workers.map(|w| EvalPool::new(&pool_problem, w));
+        median_ns(|| {
+            for candidate in &mut generation {
+                let _ = candidate.perturb(&mut rng);
+            }
+            match &mut pool {
+                Some(pool) => {
+                    let _ = pool.evaluate(&pool_problem, &generation);
+                }
+                None => {
+                    for candidate in &generation {
+                        let _ = pool_problem.cost_cached(candidate, &mut cache);
+                    }
+                }
+            }
+        })
+    };
+    let serial_generation_ns = time_row(None);
+    let pool_generation_ns: Vec<(usize, f64)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|workers| (workers, time_row(Some(workers))))
+        .collect();
+    let workers4_ns = pool_generation_ns
+        .iter()
+        .find(|(w, _)| *w == 4)
+        .map(|&(_, ns)| ns)
+        .expect("4-worker row measured");
+    let pool_speedup_4 = serial_generation_ns / workers4_ns.max(1e-9);
+
+    // Locality-aware SA move mix: the end-to-end cost walk at bias 0 (the
+    // historical uniform proposal stream) vs the Table I bias. The timing
+    // comes from `median_ns` (wall-clock calibrated, so its move count — and
+    // any counter read off the same caches — would vary run to run); the
+    // replay counters CI asserts an ordering on are therefore measured
+    // separately, on a fixed-length fixed-seed walk with fresh caches, which
+    // makes them fully deterministic.
+    let locality_move_ns = |bias: f64| {
+        let mix = MoveMix::local(bias);
+        let mut cache = CostCache::new(&pool_problem);
+        let mut rng = StdRng::seed_from_u64(0x10CA);
+        let mut walk = Candidate::random(pool_problem.num_blocks(), &mut rng);
+        median_ns(|| {
+            let _ = walk.perturb_with(&mix, &mut rng);
+            let _ = pool_problem.cost_cached(&walk, &mut cache);
+        })
+    };
+    let locality_counters = |bias: f64| {
+        let mix = MoveMix::local(bias);
+        let mut cache = CostCache::new(&pool_problem);
+        let mut rng = StdRng::seed_from_u64(0x10CA);
+        let mut walk = Candidate::random(pool_problem.num_blocks(), &mut rng);
+        for _ in 0..4_000 {
+            let _ = walk.perturb_with(&mix, &mut rng);
+            let _ = pool_problem.cost_cached(&walk, &mut cache);
+        }
+        let stats = cache.realize_stats();
+        (stats.hit_rate(), stats.pack_stats().replay_rate())
+    };
+    let uniform_move_ns = locality_move_ns(0.0);
+    let local_move_ns = locality_move_ns(config.locality_bias);
+    let (uniform_snap_hit, uniform_pack_replay) = locality_counters(0.0);
+    let (local_snap_hit, local_pack_replay) = locality_counters(config.locality_bias);
 
     let mut pack_rows = Vec::new();
     for &n in &PACK_SIZES {
@@ -127,6 +227,23 @@ fn main() {
         100.0 * pack_replay_rate,
     );
 
+    println!(
+        "eval_pool bias19: serial 40-gen {serial_generation_ns:>10.1} ns  pool {} (speedup x4 {pool_speedup_4:.2}, {hardware_threads} hw threads)",
+        pool_generation_ns
+            .iter()
+            .map(|(w, ns)| format!("w{w} {ns:.0}"))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
+    println!(
+        "sa_locality bias19: uniform {uniform_move_ns:>8.1} ns/move (pack replay {:.1}%, snap hit {:.1}%)  bias {:.2} {local_move_ns:>8.1} ns/move (pack replay {:.1}%, snap hit {:.1}%)",
+        100.0 * uniform_pack_replay,
+        100.0 * uniform_snap_hit,
+        config.locality_bias,
+        100.0 * local_pack_replay,
+        100.0 * local_snap_hit,
+    );
+
     // SA throughput on the largest paper circuit (Bias-2, 19 blocks): full
     // cost evaluations (pack + grid realization + reward) per second,
     // measured at the top of `main` (before the long sweeps disturb the
@@ -148,8 +265,25 @@ fn main() {
         result.reward
     );
 
+    // The EvalPool and locality-mix sections, assembled separately so the
+    // top-level format string stays readable.
+    let eval_pool_json = format!(
+        "  \"eval_pool\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"population\": {POPULATION},\n    \"hardware_threads\": {hardware_threads},\n    \"serial_generation_ns\": {serial_generation_ns:.1},\n    \"workers1_generation_ns\": {:.1},\n    \"workers2_generation_ns\": {:.1},\n    \"workers4_generation_ns\": {:.1},\n    \"speedup_workers4\": {pool_speedup_4:.2},\n    \"bit_identical\": {bit_identical}\n  }}",
+        sa_circuit.name,
+        sa_circuit.num_blocks(),
+        pool_generation_ns[0].1,
+        pool_generation_ns[1].1,
+        pool_generation_ns[2].1,
+    );
+    let sa_locality_json = format!(
+        "  \"sa_locality\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"locality_bias\": {:.2},\n    \"uniform_move_ns\": {uniform_move_ns:.1},\n    \"local_move_ns\": {local_move_ns:.1},\n    \"uniform_pack_replay_rate\": {uniform_pack_replay:.3},\n    \"local_pack_replay_rate\": {local_pack_replay:.3},\n    \"uniform_snap_hit_rate\": {uniform_snap_hit:.3},\n    \"local_snap_hit_rate\": {local_snap_hit:.3}\n  }}",
+        sa_circuit.name,
+        sa_circuit.num_blocks(),
+        config.locality_bias,
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, and positional masks; SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, locality-aware SA move mix, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
         pack_rows.join(",\n"),
         snap_rows.join(",\n"),
         mcircuit.name,
@@ -166,6 +300,7 @@ fn main() {
         circuit.num_blocks(),
         config.iterations,
         result.evaluations,
+        config.locality_bias,
         elapsed,
         moves_per_sec,
     );

@@ -140,7 +140,7 @@ impl Circuit {
     }
 
     /// Block ids ordered by decreasing area — the placement order heuristic
-    /// used by the RL agent (paper §IV-D1, after [22]).
+    /// used by the RL agent (paper §IV-D1, after \[22\]).
     pub fn blocks_by_decreasing_area(&self) -> Vec<BlockId> {
         let mut ids: Vec<BlockId> = self.blocks.iter().map(|b| b.id).collect();
         ids.sort_by(|a, b| {

@@ -1,6 +1,6 @@
 //! Automatic structure recognition.
 //!
-//! The paper uses Infineon's GCN + K-means structure recognition tool [21] to
+//! The paper uses Infineon's GCN + K-means structure recognition tool \[21\] to
 //! detect functional blocks in the input schematic (pipeline step 2, Fig. 1).
 //! That tool is proprietary, so this module provides two interchangeable
 //! substitutes that produce the same artefact — a grouping of devices into

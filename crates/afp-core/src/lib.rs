@@ -11,7 +11,8 @@
 //!   manual-design reference values and plain-text rendering,
 //! * [`stats`] — interquartile means and standard deviations,
 //! * [`parallel`] — fan-out of independent experiment runs over worker
-//!   threads.
+//!   threads (re-exported from the bottom-layer `afp-par` crate, which also
+//!   powers `afp-metaheuristics`' batched candidate-evaluation pool).
 //!
 //! # Examples
 //!
@@ -28,12 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-pub mod parallel;
+pub use afp_par as parallel;
 pub mod pipeline;
 pub mod report;
 pub mod stats;
 
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_scoped};
 pub use pipeline::{FloorplanMethod, LayoutPipeline, PipelineConfig, PipelineResult};
 pub use report::{
     format_table_one, format_table_two, paper_manual_references, ManualReference,

@@ -26,7 +26,7 @@
 //!
 //! The anchor map is what the grid-realization snap search
 //! ([`crate::sequence_pair::find_nearest_fit`]) and the RL positional masks
-//! `f_p` ([`crate::masks::positional_mask`], paper §IV-D2 after MaskPlace [4])
+//! `f_p` ([`crate::masks::positional_mask`], paper §IV-D2 after MaskPlace \[4\])
 //! are built from.
 
 use serde::{Deserialize, Serialize};

@@ -2,7 +2,7 @@
 //!
 //! Everything geometric that the floorplanning methods share:
 //!
-//! * the 32×32 placement [`grid`] and continuous [`Canvas`] (paper §IV-D1),
+//! * the 32×32 placement `grid` and continuous [`Canvas`] (paper §IV-D1),
 //! * the [`bitgrid`] occupancy bitboard (one `u32` row mask per grid row)
 //!   behind every footprint query, snap search and positional mask,
 //! * the incremental [`Floorplan`] state with overlap-free placement,

@@ -5,9 +5,9 @@
 //!
 //! * `f_g` — the binary grid view of the partial placement,
 //! * `f_w` — the wire mask: normalized HPWL increase for placing the current
-//!   block at each cell (after MaskPlace [4]),
+//!   block at each cell (after MaskPlace \[4\]),
 //! * `f_ds` — the dead-space mask: normalized increase in empty space
-//!   (the paper's extension over [4]),
+//!   (the paper's extension over \[4\]),
 //! * `f_p` — three positional masks, one per candidate shape, marking the
 //!   cells where the block fits without overlap and keeps its constraints
 //!   satisfiable; these also drive invalid-action masking.

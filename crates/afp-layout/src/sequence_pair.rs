@@ -1,8 +1,8 @@
 //! Sequence-pair floorplan representation.
 //!
 //! The metaheuristic baselines of the paper (SA, GA, PSO, and the RL-SA / RL
-//! predecessors of [13]) operate on the classic sequence-pair topological
-//! model [14]: two permutations `(s⁺, s⁻)` of the blocks encode the
+//! predecessors of \[13\]) operate on the classic sequence-pair topological
+//! model \[14\]: two permutations `(s⁺, s⁻)` of the blocks encode the
 //! left-of / below relations, and a longest-path evaluation packs the blocks
 //! into a minimal enclosing rectangle.
 //!
@@ -796,7 +796,7 @@ const PROBE_RADIUS: usize = 3;
 /// returning `None` if the grid is exhausted.
 ///
 /// The fast path is a single word-level [`Floorplan::fits`] probe at `start`.
-/// On a miss, rings of Chebyshev radius 1..=[`PROBE_RADIUS`] are resolved
+/// On a miss, rings of Chebyshev radius `1..=PROBE_RADIUS` are resolved
 /// from per-row anchor masks
 /// ([`BitGrid::row_anchors`](crate::bitgrid::BitGrid::row_anchors), computed
 /// lazily for the 7-row band and cached across radii): a whole ring row's

@@ -50,33 +50,75 @@ impl Candidate {
         }
     }
 
-    /// Applies a random perturbation move in place: swap two blocks in the
-    /// positive sequence, in the negative sequence, in both, or change one
-    /// block's shape.
+    /// Applies a uniformly random perturbation move in place: swap two blocks
+    /// in the positive sequence, in the negative sequence, in both, or change
+    /// one block's shape.
     ///
     /// Returns an undo token; passing it to [`Candidate::undo`] restores the
     /// candidate exactly, which lets SA revert a rejected move without
     /// cloning the whole candidate on every proposal.
+    ///
+    /// Equivalent to [`Candidate::perturb_with`] under [`MoveMix::uniform`]
+    /// (same moves, same RNG stream).
     pub fn perturb<R: Rng + ?Sized>(&mut self, rng: &mut R) -> PerturbUndo {
+        self.perturb_with(&MoveMix::uniform(), rng)
+    }
+
+    /// [`Candidate::perturb`] with a configurable move mix: with probability
+    /// `mix.locality_bias`, a sequence-swap move exchanges *adjacent*
+    /// positions `(i, i + 1)` instead of two uniformly random positions.
+    ///
+    /// Adjacent swaps are the moves the incremental cost pipeline digests
+    /// cheapest: a swap at sequence positions `i < j` forces the FAST-SP
+    /// pack to re-sweep `(n − i) + (j + 1)` positions and dirties every block
+    /// whose packed coordinates shift, so pulling `j − i` down to 1 shrinks
+    /// both the pack re-sweep and the realization/metrics dirty sets (see
+    /// `ARCHITECTURE.md`, *Layer 5*, and `docs/TUNING.md` for how to pick the
+    /// bias). At `locality_bias = 0.0` this is exactly [`Candidate::perturb`]
+    /// — including the RNG stream, so existing seeds reproduce old walks.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use afp_metaheuristics::{Candidate, MoveMix, PerturbUndo};
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(9);
+    /// let mut candidate = Candidate::random(12, &mut rng);
+    /// let reference = candidate.clone();
+    ///
+    /// // A fully local mix: every sequence swap is adjacent.
+    /// let mix = MoveMix::local(1.0);
+    /// for _ in 0..100 {
+    ///     let undo = candidate.perturb_with(&mix, &mut rng);
+    ///     if let PerturbUndo::SwapPositive(i, j) = undo {
+    ///         assert_eq!(j, i + 1, "biased swaps exchange neighbours");
+    ///     }
+    ///     candidate.undo(undo);
+    ///     assert_eq!(candidate, reference, "undo reverts biased moves too");
+    /// }
+    /// ```
+    pub fn perturb_with<R: Rng + ?Sized>(&mut self, mix: &MoveMix, rng: &mut R) -> PerturbUndo {
         let n = self.positive.len();
         if n < 2 {
             return PerturbUndo::Noop;
         }
         match rng.gen_range(0..4) {
             0 => {
-                let (i, j) = two_distinct(n, rng);
+                let (i, j) = swap_pair(n, mix, rng);
                 self.positive.swap(i, j);
                 PerturbUndo::SwapPositive(i, j)
             }
             1 => {
-                let (i, j) = two_distinct(n, rng);
+                let (i, j) = swap_pair(n, mix, rng);
                 self.negative.swap(i, j);
                 PerturbUndo::SwapNegative(i, j)
             }
             2 => {
-                let (i, j) = two_distinct(n, rng);
+                let (i, j) = swap_pair(n, mix, rng);
                 self.positive.swap(i, j);
-                let (k, l) = two_distinct(n, rng);
+                let (k, l) = swap_pair(n, mix, rng);
                 self.negative.swap(k, l);
                 PerturbUndo::SwapBoth {
                     positive: (i, j),
@@ -141,6 +183,57 @@ pub enum PerturbUndo {
         /// Its shape index before the move.
         previous: usize,
     },
+}
+
+/// The perturbation move mix: how [`Candidate::perturb_with`] picks the two
+/// sequence positions a swap move exchanges.
+///
+/// The bias exists for the incremental cost pipeline's benefit: uniform swaps
+/// produce an expected re-sweep of roughly the whole sequence per move (the
+/// pack cache's replay savings cancel against its bookkeeping — see the
+/// `incremental/pack_walk_*` benches), while adjacent swaps keep dirty sets
+/// minimal. `docs/TUNING.md` discusses how the bias trades search reach
+/// against per-move cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveMix {
+    /// Probability in `[0, 1]` that a sequence-swap move exchanges adjacent
+    /// positions `(i, i + 1)` instead of two uniformly random positions.
+    /// `0.0` reproduces the historical uniform mix bit-for-bit (no extra RNG
+    /// draw is made, so seeds replay identically).
+    pub locality_bias: f64,
+}
+
+impl MoveMix {
+    /// The historical uniform mix: every swap picks two uniform positions.
+    pub fn uniform() -> Self {
+        MoveMix { locality_bias: 0.0 }
+    }
+
+    /// A locality-aware mix: with probability `bias` (clamped to `[0, 1]`), a
+    /// swap exchanges adjacent positions.
+    pub fn local(bias: f64) -> Self {
+        MoveMix {
+            locality_bias: bias.clamp(0.0, 1.0),
+        }
+    }
+}
+
+impl Default for MoveMix {
+    fn default() -> Self {
+        MoveMix::uniform()
+    }
+}
+
+/// Picks the positions a swap move exchanges under the given mix. The biased
+/// branch draws its coin only when the bias is positive, so the uniform mix
+/// consumes exactly the RNG stream the historical `perturb` did.
+fn swap_pair<R: Rng + ?Sized>(n: usize, mix: &MoveMix, rng: &mut R) -> (usize, usize) {
+    if mix.locality_bias > 0.0 && rng.gen::<f64>() < mix.locality_bias {
+        let i = rng.gen_range(0..n - 1);
+        (i, i + 1)
+    } else {
+        two_distinct(n, rng)
+    }
 }
 
 fn two_distinct<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
@@ -521,6 +614,128 @@ impl CostCache {
     }
 }
 
+/// The parallel batched evaluation engine of the population optimizers: one
+/// [`CostCache`] — with its full `PackCache`/`RealizeCache`/`MetricsScratch`
+/// stack — per worker, and a generation-at-a-time `evaluate` that fans the
+/// candidates out over the workers through [`afp_par::parallel_map_scoped`].
+///
+/// This is layer 5 of the incremental stack (see `ARCHITECTURE.md`): where
+/// layers 1–4 make one evaluation cheap, the pool makes a *generation* of
+/// them concurrent. Worker caches are built once, at pool construction, and
+/// the scoped map lends each worker `&mut` access to its own cache per batch
+/// — so caches stay warm across generations and no locking happens on the
+/// evaluation path.
+///
+/// # Determinism contract
+///
+/// * **Bit-identical at one worker.** With `workers = 1`, `evaluate` *is* the
+///   serial `cost_cached` loop over one cache — the byte-for-byte code path
+///   GA/PSO/SP-RL ran before the pool existed.
+/// * **Seed-stable at any worker count.** Costs come out in candidate order
+///   regardless of which worker computed them, and each individual cost is
+///   bit-identical to `Problem::cost` by the layer 1–4 bit-identity contract
+///   — *no matter what state the evaluating worker's cache is in*. Worker
+///   count therefore changes scheduling only, never results: the optimizers'
+///   whole trajectories are reproducible for a seed at any `workers`.
+///
+/// Like [`CostCache`], a pool is keyed to one [`Problem`]; build one pool per
+/// problem.
+///
+/// # Examples
+///
+/// ```
+/// use afp_circuit::generators;
+/// use afp_metaheuristics::{Candidate, EvalPool, Problem};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let circuit = generators::ota8();
+/// let problem = Problem::new(&circuit);
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let generation: Vec<Candidate> = (0..12)
+///     .map(|_| Candidate::random(problem.num_blocks(), &mut rng))
+///     .collect();
+///
+/// let mut pool = EvalPool::new(&problem, 4);
+/// let costs = pool.evaluate(&problem, &generation);
+///
+/// // Costs are in candidate order and bit-identical to the serial path.
+/// for (candidate, &cost) in generation.iter().zip(&costs) {
+///     assert_eq!(cost, problem.cost(candidate));
+/// }
+/// assert_eq!(pool.misses(), 12);
+/// ```
+#[derive(Debug)]
+pub struct EvalPool {
+    /// One warm evaluation stack per worker; `caches.len()` is the worker
+    /// count handed to the scoped map.
+    caches: Vec<CostCache>,
+}
+
+impl EvalPool {
+    /// Creates a pool with `workers` worker caches for one problem.
+    /// `workers = 0` means one per available hardware thread; any value is
+    /// clamped to at least 1.
+    pub fn new(problem: &Problem, workers: usize) -> Self {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            workers
+        };
+        EvalPool {
+            caches: (0..workers.max(1)).map(|_| CostCache::new(problem)).collect(),
+        }
+    }
+
+    /// Number of workers (and worker caches) the pool owns.
+    pub fn workers(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Evaluates a generation of candidates, returning their costs in
+    /// candidate order. Values are bit-identical to [`Problem::cost`] for
+    /// every candidate at every worker count (see the determinism contract
+    /// above); with one worker no thread is spawned.
+    pub fn evaluate(&mut self, problem: &Problem, candidates: &[Candidate]) -> Vec<f64> {
+        afp_par::parallel_map_scoped(candidates, &mut self.caches, |cache, candidate| {
+            problem.cost_cached(candidate, cache)
+        })
+    }
+
+    /// Evaluates a single candidate through worker 0's cache — the pool's
+    /// serial entry point for recurrences (an SA chain, SP-RL's per-episode
+    /// policy update) that only expose one candidate at a time.
+    pub fn evaluate_one(&mut self, problem: &Problem, candidate: &Candidate) -> f64 {
+        problem.cost_cached(candidate, &mut self.caches[0])
+    }
+
+    /// Total memo hits across all worker caches.
+    pub fn hits(&self) -> u64 {
+        self.caches.iter().map(|c| c.hits).sum()
+    }
+
+    /// Total memo misses (full evaluations) across all worker caches.
+    pub fn misses(&self) -> u64 {
+        self.caches.iter().map(|c| c.misses).sum()
+    }
+
+    /// Selects the realization path on every worker cache (see
+    /// [`CostCache::set_incremental`]).
+    pub fn set_incremental(&mut self, incremental: bool) {
+        for cache in &mut self.caches {
+            cache.set_incremental(incremental);
+        }
+    }
+
+    /// Selects the metrics path on every worker cache (see
+    /// [`CostCache::set_incremental_metrics`]).
+    pub fn set_incremental_metrics(&mut self, incremental: bool) {
+        for cache in &mut self.caches {
+            cache.set_incremental_metrics(incremental);
+        }
+    }
+}
+
 /// Fingerprint of a candidate (sequences + shape choices). Zero is reserved
 /// as the empty-slot sentinel of the memo.
 ///
@@ -655,6 +870,106 @@ mod tests {
         let c = Candidate::identity(with.num_blocks(), with.shape_sets());
         // Inflated shapes should not make the floorplan cheaper.
         assert!(with.cost(&c) >= without.cost(&c) * 0.99);
+    }
+
+    #[test]
+    fn uniform_mix_replays_the_historical_rng_stream() {
+        // `perturb` delegates to `perturb_with(MoveMix::uniform())`; a zero
+        // bias must not draw the locality coin, so two RNGs with the same
+        // seed stay in lockstep whichever entry point drives them.
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let mut a = Candidate::random(10, &mut rng_a);
+        let mut b = Candidate::random(10, &mut rng_b);
+        let mix = MoveMix::uniform();
+        for _ in 0..300 {
+            let ua = a.perturb(&mut rng_a);
+            let ub = b.perturb_with(&mix, &mut rng_b);
+            assert_eq!(ua, ub);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn fully_local_mix_only_swaps_neighbours() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut c = Candidate::random(16, &mut rng);
+        let mix = MoveMix::local(1.0);
+        let mut saw_swap = false;
+        for _ in 0..400 {
+            match c.perturb_with(&mix, &mut rng) {
+                PerturbUndo::SwapPositive(i, j) | PerturbUndo::SwapNegative(i, j) => {
+                    assert_eq!(j, i + 1);
+                    saw_swap = true;
+                }
+                PerturbUndo::SwapBoth { positive, negative } => {
+                    assert_eq!(positive.1, positive.0 + 1);
+                    assert_eq!(negative.1, negative.0 + 1);
+                    saw_swap = true;
+                }
+                PerturbUndo::Shape { .. } | PerturbUndo::Noop => {}
+            }
+        }
+        assert!(saw_swap, "walk never proposed a swap move");
+        let mut pos = c.positive.clone();
+        pos.sort_unstable();
+        assert_eq!(pos, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn move_mix_clamps_bias() {
+        assert_eq!(MoveMix::local(7.0).locality_bias, 1.0);
+        assert_eq!(MoveMix::local(-3.0).locality_bias, 0.0);
+        assert_eq!(MoveMix::default(), MoveMix::uniform());
+    }
+
+    #[test]
+    fn eval_pool_matches_serial_loop_at_every_worker_count() {
+        let circuit = generators::bias9();
+        let problem = Problem::new(&circuit);
+        let mut rng = StdRng::seed_from_u64(0xE7A1);
+        let mut generation: Vec<Candidate> = (0..17)
+            .map(|_| Candidate::random(problem.num_blocks(), &mut rng))
+            .collect();
+        let mut cache = CostCache::new(&problem);
+        for workers in [1usize, 2, 3, 4] {
+            let mut pool = EvalPool::new(&problem, workers);
+            assert_eq!(pool.workers(), workers);
+            // Two generations per pool so the second batch runs on warm
+            // per-worker caches — the steady state the optimizers live in.
+            for _ in 0..2 {
+                let serial: Vec<f64> = generation
+                    .iter()
+                    .map(|c| problem.cost_cached(c, &mut cache))
+                    .collect();
+                let batch = pool.evaluate(&problem, &generation);
+                assert_eq!(batch, serial, "diverged at {workers} workers");
+                for c in &mut generation {
+                    let _ = c.perturb(&mut rng);
+                }
+            }
+            assert!(pool.misses() > 0);
+        }
+    }
+
+    #[test]
+    fn eval_pool_auto_worker_count_is_positive() {
+        let circuit = generators::ota3();
+        let problem = Problem::new(&circuit);
+        let pool = EvalPool::new(&problem, 0);
+        assert!(pool.workers() >= 1);
+    }
+
+    #[test]
+    fn eval_pool_evaluate_one_matches_cost() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let mut pool = EvalPool::new(&problem, 2);
+        let c = Candidate::identity(problem.num_blocks(), problem.shape_sets());
+        assert_eq!(pool.evaluate_one(&problem, &c), problem.cost(&c));
+        // The repeat is a memo hit on worker 0.
+        assert_eq!(pool.evaluate_one(&problem, &c), problem.cost(&c));
+        assert!(pool.hits() >= 1);
     }
 
     #[test]

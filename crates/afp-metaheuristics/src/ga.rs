@@ -7,7 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, CostCache, Problem};
+use crate::common::{BaselineResult, Candidate, EvalPool, Problem};
 
 /// Genetic-algorithm configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +24,10 @@ pub struct GaConfig {
     pub elitism: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for generation evaluation through the [`EvalPool`]
+    /// (`0` = one per available hardware thread). Results are bit-identical
+    /// at any worker count; see `docs/TUNING.md` for how to choose.
+    pub workers: usize,
 }
 
 impl GaConfig {
@@ -36,6 +40,7 @@ impl GaConfig {
             tournament: 3,
             elitism: 2,
             seed: 0,
+            workers: 1,
         }
     }
 
@@ -50,6 +55,7 @@ impl GaConfig {
             tournament: 4,
             elitism: 3,
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -101,7 +107,7 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut cache = CostCache::new(&problem);
+    let mut pool = EvalPool::new(&problem, config.workers);
     let n = problem.num_blocks();
 
     let mut population: Vec<Candidate> = (0..config.population)
@@ -113,10 +119,7 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
             }
         })
         .collect();
-    let mut costs: Vec<f64> = population
-        .iter()
-        .map(|c| problem.cost_cached(c, &mut cache))
-        .collect();
+    let mut costs: Vec<f64> = pool.evaluate(&problem, &population);
     let mut evaluations = population.len();
 
     for _gen in 0..config.generations {
@@ -142,12 +145,11 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
             next.push(child);
         }
         population = next;
-        // Elites re-enter here as memo hits: they were scored last
-        // generation, so the cache answers without re-packing.
-        costs = population
-            .iter()
-            .map(|c| problem.cost_cached(c, &mut cache))
-            .collect();
+        // The whole generation is scored as one pool batch. Elites re-enter
+        // as memo hits when their worker scored them last generation; either
+        // way their costs are bit-identical, so worker count never changes
+        // the selection pressure.
+        costs = pool.evaluate(&problem, &population);
         evaluations += population.len();
     }
 
@@ -201,6 +203,27 @@ mod tests {
         assert_eq!(a.reward, b.reward);
         assert_eq!(a.floorplan.num_placed(), circuit.num_blocks());
         assert_eq!(a.algorithm, "GA");
+    }
+
+    #[test]
+    fn ga_results_are_identical_across_worker_counts() {
+        // The EvalPool determinism contract, end to end: the whole GA
+        // trajectory — every tournament, every elite, the final best cost —
+        // must be reproducible for a seed at any worker count, because
+        // per-candidate costs are bit-identical no matter which worker's
+        // cache evaluates them.
+        let circuit = generators::ota8();
+        let serial = genetic_algorithm(&circuit, &GaConfig::small());
+        for workers in [2usize, 4] {
+            let cfg = GaConfig {
+                workers,
+                ..GaConfig::small()
+            };
+            let parallel = genetic_algorithm(&circuit, &cfg);
+            assert_eq!(parallel.reward, serial.reward, "{workers} workers diverged");
+            assert_eq!(parallel.evaluations, serial.evaluations);
+            assert_eq!(parallel.floorplan, serial.floorplan);
+        }
     }
 
     #[test]

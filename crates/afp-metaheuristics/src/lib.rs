@@ -4,23 +4,31 @@
 //! sequence-pair topological model of `afp-layout`:
 //!
 //! * [`simulated_annealing`] — SA, the methodology used by state-of-the-art
-//!   automatic layout generators such as ALIGN [28],
+//!   automatic layout generators such as ALIGN \[28\],
 //! * [`genetic_algorithm`] — GA with order crossover,
 //! * [`particle_swarm`] — PSO with random-key permutation encoding,
-//! * [`rl_sa`] — the RL + SA hybrid of the predecessor work [13],
-//! * [`sequence_pair_rl`] — the pure per-instance sequence-pair RL of [13].
+//! * [`rl_sa`] — the RL + SA hybrid of the predecessor work \[13\],
+//! * [`sequence_pair_rl`] — the pure per-instance sequence-pair RL of \[13\].
 //!
 //! Every baseline applies congestion-aware device spacing by default
 //! (paper §V-B) so that its floorplans are comparable with the routing-ready
 //! floorplans of the R-GCN + RL method, and every baseline reports the same
 //! [`BaselineResult`] (runtime, HPWL, dead space, reward) that Table I lists.
 //!
-//! All baselines evaluate candidates through [`Problem::cost_cached`] and a
-//! shared [`CostCache`], which runs `afp-layout`'s incremental cost pipeline
-//! (dirty-set FAST-SP pack → dirty-block grid realization → dirty-set
-//! HPWL/violation metrics) — bit-identical to the full recomputation, which
-//! is retained behind the `full-realize` / `full-metrics` oracle features.
-//! See `ARCHITECTURE.md` at the repository root.
+//! All baselines evaluate candidates through [`Problem::cost_cached`], which
+//! runs `afp-layout`'s incremental cost pipeline (dirty-set FAST-SP pack →
+//! dirty-block grid realization → dirty-set HPWL/violation metrics) —
+//! bit-identical to the full recomputation, which is retained behind the
+//! `full-realize` / `full-metrics` oracle features. The population
+//! optimizers evaluate through an [`EvalPool`] — one [`CostCache`] per
+//! worker, results bit-identical at any worker count; GA and PSO score
+//! whole generations per call, SP-RL's one-candidate-at-a-time recurrence
+//! uses the pool's serial entry point — while SA uses the locality-aware move mix
+//! ([`MoveMix`], [`SaConfig::locality_bias`](SaConfig)) to keep the
+//! incremental engines' dirty sets small. See `ARCHITECTURE.md` at the
+//! repository root for the five-layer evaluation stack and its determinism
+//! contract, and `docs/TUNING.md` for how to choose worker counts,
+//! population sizes and the locality bias.
 //!
 //! # Examples
 //!
@@ -44,7 +52,7 @@ mod rl_sa;
 mod sa;
 mod sp_rl;
 
-pub use common::{BaselineResult, Candidate, CostCache, PerturbUndo, Problem};
+pub use common::{BaselineResult, Candidate, CostCache, EvalPool, MoveMix, PerturbUndo, Problem};
 pub use ga::{genetic_algorithm, GaConfig};
 pub use pso::{particle_swarm, PsoConfig};
 pub use rl_sa::{rl_sa, RlSaConfig};
@@ -62,9 +70,9 @@ pub enum Baseline {
     Ga(GaConfig),
     /// Particle swarm optimization.
     Pso(PsoConfig),
-    /// RL + SA hybrid of [13].
+    /// RL + SA hybrid of \[13\].
     RlSa(RlSaConfig),
-    /// Pure sequence-pair RL of [13].
+    /// Pure sequence-pair RL of \[13\].
     SpRl(SpRlConfig),
 }
 

@@ -12,7 +12,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, CostCache, Problem};
+use crate::common::{BaselineResult, Candidate, EvalPool, Problem};
 
 /// PSO configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +29,10 @@ pub struct PsoConfig {
     pub social: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads for swarm evaluation through the [`EvalPool`]
+    /// (`0` = one per available hardware thread). Results are bit-identical
+    /// at any worker count; see `docs/TUNING.md` for how to choose.
+    pub workers: usize,
 }
 
 impl PsoConfig {
@@ -41,6 +45,7 @@ impl PsoConfig {
             cognitive: 1.5,
             social: 1.5,
             seed: 0,
+            workers: 1,
         }
     }
 
@@ -54,6 +59,7 @@ impl PsoConfig {
             cognitive: 1.5,
             social: 1.5,
             seed: 0,
+            workers: 0,
         }
     }
 }
@@ -102,7 +108,7 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut cache = CostCache::new(&problem);
+    let mut pool = EvalPool::new(&problem, config.workers);
     let n = problem.num_blocks();
     let dim = 3 * n;
 
@@ -122,12 +128,18 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
     let mut global_best_position = particles[0].position.clone();
     let mut global_best_cost = f64::MAX;
     let mut evaluations = 0;
+    let mut swarm: Vec<Candidate> = Vec::with_capacity(config.particles);
 
     for _ in 0..config.iterations {
-        for p in &mut particles {
-            let candidate = decode(&p.position, n);
-            let cost = problem.cost_cached(&candidate, &mut cache);
-            evaluations += 1;
+        // Decode the whole swarm, score it as one pool batch, then reduce in
+        // particle order — the same order the serial loop updated bests in,
+        // so the global best (and with it the next velocity update) is
+        // identical at any worker count.
+        swarm.clear();
+        swarm.extend(particles.iter().map(|p| decode(&p.position, n)));
+        let costs = pool.evaluate(&problem, &swarm);
+        evaluations += costs.len();
+        for (p, &cost) in particles.iter_mut().zip(&costs) {
             if cost < p.best_cost {
                 p.best_cost = cost;
                 p.best_position = p.position.clone();
@@ -177,6 +189,25 @@ mod tests {
         assert_eq!(a.floorplan.num_placed(), circuit.num_blocks());
         assert_eq!(a.algorithm, "PSO");
         assert!(a.evaluations > 0);
+    }
+
+    #[test]
+    fn pso_results_are_identical_across_worker_counts() {
+        // EvalPool determinism: the swarm trajectory (personal bests, global
+        // best, final decoded candidate) is reproducible for a seed at any
+        // worker count.
+        let circuit = generators::ota8();
+        let serial = particle_swarm(&circuit, &PsoConfig::small());
+        for workers in [2usize, 4] {
+            let cfg = PsoConfig {
+                workers,
+                ..PsoConfig::small()
+            };
+            let parallel = particle_swarm(&circuit, &cfg);
+            assert_eq!(parallel.reward, serial.reward, "{workers} workers diverged");
+            assert_eq!(parallel.evaluations, serial.evaluations);
+            assert_eq!(parallel.floorplan, serial.floorplan);
+        }
     }
 
     #[test]

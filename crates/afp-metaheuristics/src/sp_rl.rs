@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, CostCache, Problem};
+use crate::common::{BaselineResult, Candidate, EvalPool, Problem};
 
 /// Number of move types the policy chooses between.
 const NUM_MOVES: usize = 4;
@@ -134,10 +134,16 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = problem.num_blocks();
 
-    let mut cache = CostCache::new(problem);
+    // The REINFORCE recurrence only ever exposes one candidate at a time
+    // (the logits update needs each episode's end cost before the next
+    // episode's moves are sampled), so SP-RL evaluates through the pool's
+    // serial entry point: the pool owns the warm cache stack like it does
+    // for GA/PSO, but no batch wider than one exists to fan out — and a
+    // 2-item batch would never amortize a thread spawn (docs/TUNING.md).
+    let mut pool = EvalPool::new(problem, 1);
     let mut logits = vec![0.0f64; NUM_MOVES];
     let mut best = Candidate::identity(n, problem.shape_sets());
-    let mut best_cost = problem.cost_cached(&best, &mut cache);
+    let mut best_cost = pool.evaluate_one(problem, &best);
     let mut evaluations = 1;
     let mut baseline_return = 0.0f64;
 
@@ -147,7 +153,7 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
         } else {
             best.clone()
         };
-        let start_cost = problem.cost_cached(&candidate, &mut cache);
+        let start_cost = pool.evaluate_one(problem, &candidate);
         evaluations += 1;
         let mut chosen_moves = Vec::with_capacity(config.moves_per_episode);
         for _ in 0..config.moves_per_episode {
@@ -156,11 +162,11 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
             chosen_moves.push(mv);
             apply_move(&mut candidate, mv, &mut rng);
         }
-        let end_cost = problem.cost_cached(&candidate, &mut cache);
+        let end_cost = pool.evaluate_one(problem, &candidate);
         evaluations += 1;
         if end_cost < best_cost {
             best_cost = end_cost;
-            best = candidate.clone();
+            best = candidate;
         }
         // Episode return: the cost improvement achieved by the move sequence.
         let episode_return = start_cost - end_cost;

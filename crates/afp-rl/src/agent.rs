@@ -26,7 +26,7 @@ use crate::rollout::{RolloutBuffer, Transition};
 /// for the full method).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AblationFlags {
-    /// Feed the dead-space mask `f_ds` to the CNN (paper's addition over [4]).
+    /// Feed the dead-space mask `f_ds` to the CNN (paper's addition over \[4\]).
     pub use_dead_space_mask: bool,
     /// Feed the wire mask `f_w` to the CNN.
     pub use_wire_mask: bool,

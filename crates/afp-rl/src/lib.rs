@@ -13,7 +13,7 @@
 //! * [`HclSchedule`] — the hybrid curriculum over circuits of growing
 //!   complexity with random circuit / constraint sampling (§IV-D5),
 //! * [`FloorplanAgent`] — inference (zero-shot) and few-shot fine-tuning,
-//! * [`train`] — the end-to-end training loop recording the Fig. 6 curves,
+//! * [`train()`] — the end-to-end training loop recording the Fig. 6 curves,
 //! * [`ablation`] — named ablations of the design choices.
 //!
 //! # Examples

@@ -1,6 +1,6 @@
 //! Procedural layout completion — the ANAGEN substitute.
 //!
-//! ANAGEN [11], [12] is Infineon's proprietary procedural generator that takes
+//! ANAGEN \[11\], \[12\] is Infineon's proprietary procedural generator that takes
 //! a floorplan plus routing conduits and emits a DRC/LVS-clean layout. This
 //! module reproduces the part of that flow the paper's Table II measures:
 //! detailed routing along the conduits (snapping wires to a track grid,

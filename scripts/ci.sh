@@ -14,26 +14,42 @@ cargo test -q --workspace   # superset of tier-1's `cargo test -q`
 
 # Incremental-pipeline safety net: the differential proptests (incremental vs
 # full realization bit-identity, incremental FAST-SP pack vs full sweep,
-# incremental metrics vs full rescan, FAST-SP vs legacy oracle, BitGrid vs
-# scalar oracle) run as part of the workspace tests above; run them once more
-# by name so a filtered or partially-cached test run cannot silently skip
-# them, then run the metaheuristics tests again with each feature-gated
-# oracle (`full-realize`, `full-metrics`) as the CostCache default.
+# incremental metrics vs full rescan, parallel EvalPool vs the serial
+# cost_cached loop, FAST-SP vs legacy oracle, BitGrid vs scalar oracle) run
+# as part of the workspace tests above; run them once more by name so a
+# filtered or partially-cached test run cannot silently skip them, then run
+# the metaheuristics tests again with each feature-gated oracle
+# (`full-realize`, `full-metrics`) as the CostCache default.
 for diff_test in \
     incremental_realize_matches_full_after_perturbation_sequences \
     incremental_pack_matches_full_on_perturbation_walks \
-    incremental_metrics_match_full_rescan_oracle; do
+    incremental_metrics_match_full_rescan_oracle \
+    eval_pool_matches_serial_cost_cached; do
     diff_out="$(cargo test --test properties "$diff_test" 2>&1)" \
         || { echo "$diff_out"; exit 1; }
     echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
         || { echo "ci: differential proptest filter '$diff_test' matched no tests" >&2; exit 1; }
+done
+# The EvalPool differential proptest once more under each oracle feature (the
+# root manifest forwards them to afp-metaheuristics), so the pool's worker
+# caches are exercised against the full-rebuild realization and full-rescan
+# metrics paths too — a layer-5 bug that only shows against an oracle default
+# would otherwise hide behind the incremental defaults above.
+for oracle_feature in full-realize full-metrics; do
+    diff_out="$(cargo test --test properties eval_pool_matches_serial_cost_cached \
+        --features "$oracle_feature" 2>&1)" \
+        || { echo "$diff_out"; exit 1; }
+    echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
+        || { echo "ci: eval_pool proptest matched no tests under $oracle_feature" >&2; exit 1; }
 done
 cargo test -q -p afp-metaheuristics --features full-realize
 cargo test -q -p afp-metaheuristics --features full-metrics
 
 # Rustdoc is part of the public API surface: build the workspace docs with
 # warnings denied so broken intra-doc links or missing docs fail CI.
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+# `--workspace` is load-bearing: without it cargo documents only the root
+# facade crate, which silently skipped every member crate's rustdoc.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
 cargo bench --no-run
 
@@ -52,7 +68,8 @@ if command -v python3 > /dev/null; then
 import json, sys
 with open(sys.argv[1]) as f:
     snap = json.load(f)
-for section in ("pack", "snap", "masks", "incremental_realize", "sa"):
+for section in ("pack", "snap", "masks", "incremental_realize", "eval_pool",
+                "sa_locality", "sa"):
     assert section in snap, f"missing snapshot section: {section}"
 inc = snap["incremental_realize"]
 for key in ("incremental_move_ns", "incremental_realize_full_metrics_move_ns",
@@ -60,6 +77,34 @@ for key in ("incremental_move_ns", "incremental_realize_full_metrics_move_ns",
     assert key in inc, f"missing incremental_realize key: {key}"
 assert 0.0 <= inc["replay_hit_rate"] <= 1.0, "hit rate out of range"
 assert 0.0 <= inc["pack_replay_rate"] <= 1.0, "pack replay rate out of range"
+pool = snap["eval_pool"]
+for key in ("hardware_threads", "population", "serial_generation_ns",
+            "workers1_generation_ns", "workers2_generation_ns",
+            "workers4_generation_ns", "speedup_workers4", "bit_identical"):
+    assert key in pool, f"missing eval_pool key: {key}"
+# bench_snapshot computes the verdict by comparing pool output against the
+# serial loop and aborts on divergence before writing any JSON, so a present
+# section with a true verdict proves the check ran and passed. The speedup is
+# machine-dependent (≈ hardware_threads-bounded), so only its presence and
+# sign are gated.
+assert pool["bit_identical"] is True, "EvalPool bit-identity check not recorded"
+assert pool["speedup_workers4"] > 0.0, "nonsensical eval_pool speedup"
+loc = snap["sa_locality"]
+for key in ("locality_bias", "uniform_move_ns", "local_move_ns",
+            "uniform_pack_replay_rate", "local_pack_replay_rate",
+            "uniform_snap_hit_rate", "local_snap_hit_rate"):
+    assert key in loc, f"missing sa_locality key: {key}"
+for key in ("uniform_pack_replay_rate", "local_pack_replay_rate",
+            "uniform_snap_hit_rate", "local_snap_hit_rate"):
+    assert 0.0 <= loc[key] <= 1.0, f"{key} out of range"
+# The replay counters come from a fixed-length, fixed-seed walk on fresh
+# caches (not from the wall-clock-calibrated timing loops), so they are fully
+# deterministic: the whole point of the locality mix is that biased walks
+# replay more, and a change that breaks this ordering should fail loudly.
+assert loc["local_pack_replay_rate"] >= loc["uniform_pack_replay_rate"], \
+    "locality bias did not increase pack replay"
+assert loc["local_snap_hit_rate"] >= loc["uniform_snap_hit_rate"], \
+    "locality bias did not increase snap replay hits"
 PY
 else
     echo "ci: python3 not found, skipping BENCH_pack.json JSON validation" >&2

@@ -640,3 +640,69 @@ proptest! {
         prop_assert_eq!(got, expected, "realized placements diverge (seed {})", seed);
     }
 }
+
+proptest! {
+    // Differential safety net of the parallel evaluation engine (layer 5,
+    // see ARCHITECTURE.md): run by name in scripts/ci.sh under the default
+    // and both feature-gated oracle configurations.
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// `EvalPool::evaluate` must return, for random populations and any
+    /// worker count, exactly the costs the serial `cost_cached` loop
+    /// produces — in candidate order, bit-identical `f64`s. Two generations
+    /// are scored per case so the second batch runs on warm per-worker
+    /// caches (the incremental engines diffing against whichever candidate
+    /// that worker saw last — the steady state GA/PSO live in).
+    #[test]
+    fn eval_pool_matches_serial_cost_cached(
+        seed in 0u64..1_000_000,
+        population in 2usize..24,
+        workers in 1usize..5,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::metaheuristics::{Candidate, CostCache, EvalPool, Problem};
+        use rand::SeedableRng;
+        let circuit = match seed % 3 {
+            0 => generators::ota5(),
+            1 => generators::ota8(),
+            _ => generators::bias9(),
+        };
+        let problem = Problem::new(&circuit);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut generation: Vec<Candidate> = (0..population)
+            .map(|_| Candidate::random(problem.num_blocks(), &mut rng))
+            .collect();
+
+        let mut pool = EvalPool::new(&problem, workers);
+        let mut serial_cache = CostCache::new(&problem);
+        for round in 0..2 {
+            let batch = pool.evaluate(&problem, &generation);
+            let serial: Vec<f64> = generation
+                .iter()
+                .map(|c| problem.cost_cached(c, &mut serial_cache))
+                .collect();
+            prop_assert_eq!(
+                &batch, &serial,
+                "pool diverged from the serial loop (round {}, {} workers)",
+                round, workers
+            );
+            for (candidate, &cost) in generation.iter().zip(&batch) {
+                prop_assert_eq!(cost, problem.cost(candidate), "cost diverged from Problem::cost");
+            }
+            // GA-style drift into the next generation: perturb every member.
+            for candidate in &mut generation {
+                let _ = candidate.perturb(&mut rng);
+            }
+        }
+
+        // The pool's runtime oracle toggles: flip every worker cache to the
+        // full-rebuild realization and full-rescan metrics paths and
+        // re-score — still bit-identical to the uncached cost.
+        pool.set_incremental(false);
+        pool.set_incremental_metrics(false);
+        let oracle = pool.evaluate(&problem, &generation);
+        for (candidate, &cost) in generation.iter().zip(&oracle) {
+            prop_assert_eq!(cost, problem.cost(candidate), "oracle-path pool cost diverged");
+        }
+    }
+}
