@@ -27,6 +27,12 @@
 //! * `sa_locality` — the end-to-end `cost_cached` SA walk under the
 //!   locality-aware move mix at biases 0 / 0.5 / 0.9: how much adjacent
 //!   swaps shrink the incremental pipeline's dirty sets per move.
+//! * `pool_overhead` — per-batch dispatch cost of the persistent parked
+//!   `WorkerPool` against the spawn-per-call `parallel_map_scoped` shim on a
+//!   near-empty batch: the pure fixed cost an optimizer pays per generation
+//!   under each model.
+//! * `multistart` — 4 independent SA chains through `multistart_sa` at 1 and
+//!   2 pool workers: whole optimizer runs as the unit of parallel work.
 //!
 //! Run with `cargo bench --bench pack`; `bench_snapshot` records the same
 //! workloads into `BENCH_pack.json` for cross-PR comparison.
@@ -39,7 +45,10 @@ use afp_layout::lcs_pack::{pack_coords, pack_coords_cached};
 use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, realize_floorplan_incremental, PackedFloorplan};
 use afp_layout::{Floorplan, PackCache, PackScratch, RealizeCache};
-use afp_metaheuristics::{Candidate, CostCache, EvalPool, MoveMix, Problem};
+use afp_metaheuristics::{
+    multistart_sa, Candidate, CostCache, EvalPool, MoveMix, MultistartSaConfig, Problem, SaConfig,
+};
+use afp_par::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -268,6 +277,53 @@ fn bench_sa_locality(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pure per-batch dispatch overhead: a trivial 8-item workload dispatched at
+/// 2 workers through the spawn-per-call shim and through a persistent parked
+/// pool. The work itself is negligible, so the measurement is the fixed cost
+/// per batch each model charges — the number the parked pool exists to cut.
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_overhead");
+    group.sample_size(20);
+    const WORKERS: usize = 2;
+    let items: Vec<u64> = (0..8).collect();
+
+    let mut states = vec![0u64; WORKERS];
+    group.bench_function("spawn_per_call", |b| {
+        b.iter(|| afp_par::parallel_map_scoped(&items, &mut states, |_, &x| x))
+    });
+
+    let mut pool = WorkerPool::new(WORKERS);
+    let mut states = vec![0u64; WORKERS];
+    group.bench_function("parked_batch", |b| {
+        b.iter(|| pool.map_scoped(&items, &mut states, |_, &x| x))
+    });
+    group.finish();
+}
+
+/// Multi-start SA: 4 chains on Bias-2 racing over the persistent pool, at 1
+/// and 2 pool workers. Chains are whole SA runs, so this measures the
+/// coarse-grained parallel shape (one warm cache per worker, zero cross-chain
+/// coordination) rather than per-generation batching.
+fn bench_multistart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multistart");
+    group.sample_size(10);
+    let circuit = generators::bias19();
+    for workers in [1usize, 2] {
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 400,
+                ..SaConfig::table1()
+            },
+            chains: 4,
+            workers,
+        };
+        group.bench_function(BenchmarkId::new("chains4_bias19", workers), |b| {
+            b.iter(|| multistart_sa(&circuit, &cfg))
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_pack,
@@ -275,6 +331,8 @@ criterion_group!(
     bench_incremental,
     bench_masks,
     bench_eval_pool,
-    bench_sa_locality
+    bench_sa_locality,
+    bench_pool_overhead,
+    bench_multistart
 );
 criterion_main!(benches);

@@ -2,7 +2,8 @@
 //! engines' median times, the grid-realization (`snap`), incremental
 //! dirty-block realization (`incremental_realize`, per-move cost + replay
 //! hit rate), positional-mask (`masks`), parallel generation-evaluation
-//! (`eval_pool`) and locality-aware move mix (`sa_locality`) medians, and
+//! (`eval_pool`), parked-pool dispatch (`pool_overhead`), multi-start SA
+//! (`multistart`) and locality-aware move mix (`sa_locality`) medians, and
 //! the SA evaluation throughput, so every PR that touches the hot path has
 //! a trajectory to compare against.
 //!
@@ -18,8 +19,11 @@ use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
 use afp_layout::{Floorplan, PackScratch};
 use afp_metaheuristics::{
-    simulated_annealing, Candidate, CostCache, EvalPool, MoveMix, Problem, SaConfig,
+    chain_seed, multistart_sa, select_winner, simulated_annealing,
+    simulated_annealing_with_cache, Candidate, CostCache, EvalPool, MoveMix, MultistartSaConfig,
+    Problem, SaConfig,
 };
+use afp_par::WorkerPool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -101,6 +105,86 @@ fn main() {
         .map(|&(_, ns)| ns)
         .expect("4-worker row measured");
     let pool_speedup_4 = serial_generation_ns / workers4_ns.max(1e-9);
+
+    // Per-batch dispatch overhead of the parked pool against the
+    // spawn-per-call shim, on a trivial 8-item batch at 2 workers: the work
+    // is negligible, so each median is the fixed cost per batch its model
+    // charges. The acceptance bar for the persistent pool is that the parked
+    // dispatch (one epoch bump + unpark per active worker) lands strictly
+    // below a thread spawn-and-join, which holds even on the 1-hardware-
+    // thread CI container — both models context-switch there, but only the
+    // shim pays thread creation and teardown too.
+    const OVERHEAD_WORKERS: usize = 2;
+    let overhead_items: Vec<u64> = (0..8).collect();
+    let spawn_batch_ns = {
+        let mut states = vec![0u64; OVERHEAD_WORKERS];
+        median_ns(|| {
+            let _ = afp_par::parallel_map_scoped(&overhead_items, &mut states, |_, &x| x);
+        })
+    };
+    let mut overhead_pool = WorkerPool::new(OVERHEAD_WORKERS);
+    let parked_batch_ns = {
+        let mut states = vec![0u64; OVERHEAD_WORKERS];
+        median_ns(|| {
+            let _ = overhead_pool.map_scoped(&overhead_items, &mut states, |_, &x| x);
+        })
+    };
+    let overhead_stats = overhead_pool.stats();
+    drop(overhead_pool);
+    let spawn_over_parked = spawn_batch_ns / parked_batch_ns.max(1e-9);
+
+    // Multi-start SA: 4 Table-I-budget chains on Bias-2 over the persistent
+    // pool. Chain bit-identity against the serial replay (and the winner
+    // against the serial reduction) is asserted before any timing — a
+    // divergence aborts the snapshot, so a written `multistart` section
+    // proves the check ran and passed. Timed at 1 and 2 pool workers; on the
+    // 1-thread container the 2-worker row just timeslices and is recorded
+    // for trajectory purposes, not judged.
+    let ms_cfg = MultistartSaConfig {
+        base: SaConfig::table1(),
+        chains: 4,
+        workers: 2,
+    };
+    let ms_pooled = multistart_sa(&sa_circuit, &ms_cfg);
+    let ms_bit_identical = {
+        let serial_chains: Vec<_> = (0..ms_cfg.chains)
+            .map(|chain| {
+                let chain_cfg = SaConfig {
+                    seed: chain_seed(ms_cfg.base.seed, chain),
+                    ..ms_cfg.base.clone()
+                };
+                let mut cache = CostCache::new(&pool_problem);
+                simulated_annealing_with_cache(&pool_problem, &chain_cfg, None, &mut cache)
+            })
+            .collect();
+        ms_pooled
+            .chains
+            .iter()
+            .zip(&serial_chains)
+            .all(|(p, s)| {
+                p.reward == s.reward
+                    && p.evaluations == s.evaluations
+                    && p.floorplan == s.floorplan
+            })
+            && ms_pooled.winner == select_winner(&sa_circuit, &serial_chains)
+    };
+    assert!(
+        ms_bit_identical,
+        "multistart chains diverged from the serial replay"
+    );
+    let ms_time_ns = |workers: usize| {
+        let cfg = MultistartSaConfig {
+            workers,
+            ..ms_cfg.clone()
+        };
+        median_ns(|| {
+            let _ = multistart_sa(&sa_circuit, &cfg);
+        })
+    };
+    let ms_workers1_ns = ms_time_ns(1);
+    let ms_workers2_ns = ms_time_ns(2);
+    let ms_chains_per_sec_w1 = ms_cfg.chains as f64 / (ms_workers1_ns * 1e-9).max(1e-12);
+    let ms_chains_per_sec_w2 = ms_cfg.chains as f64 / (ms_workers2_ns * 1e-9).max(1e-12);
 
     // Locality-aware SA move mix: the end-to-end cost walk at bias 0 (the
     // historical uniform proposal stream) vs the Table I bias. The timing
@@ -236,6 +320,15 @@ fn main() {
             .join("  "),
     );
     println!(
+        "pool_overhead: spawn-per-call {spawn_batch_ns:>10.1} ns/batch  parked {parked_batch_ns:>10.1} ns/batch ({spawn_over_parked:.1}x, {} batches, {} wakes)",
+        overhead_stats.batches, overhead_stats.threads_woken,
+    );
+    println!(
+        "multistart bias19: 4 chains  w1 {:.1} ms ({ms_chains_per_sec_w1:.1} chains/s)  w2 {:.1} ms ({ms_chains_per_sec_w2:.1} chains/s)",
+        ms_workers1_ns / 1e6,
+        ms_workers2_ns / 1e6,
+    );
+    println!(
         "sa_locality bias19: uniform {uniform_move_ns:>8.1} ns/move (pack replay {:.1}%, snap hit {:.1}%)  bias {:.2} {local_move_ns:>8.1} ns/move (pack replay {:.1}%, snap hit {:.1}%)",
         100.0 * uniform_pack_replay,
         100.0 * uniform_snap_hit,
@@ -281,9 +374,22 @@ fn main() {
         sa_circuit.num_blocks(),
         config.locality_bias,
     );
+    let pool_overhead_json = format!(
+        "  \"pool_overhead\": {{\n    \"workers\": {OVERHEAD_WORKERS},\n    \"batch_items\": {},\n    \"spawn_batch_ns\": {spawn_batch_ns:.1},\n    \"parked_batch_ns\": {parked_batch_ns:.1},\n    \"spawn_over_parked\": {spawn_over_parked:.2},\n    \"parked_batches\": {},\n    \"parked_threads_woken\": {}\n  }}",
+        overhead_items.len(),
+        overhead_stats.batches,
+        overhead_stats.threads_woken,
+    );
+    let multistart_json = format!(
+        "  \"multistart\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"chains\": {},\n    \"chain_iterations\": {},\n    \"workers1_ns\": {ms_workers1_ns:.1},\n    \"workers2_ns\": {ms_workers2_ns:.1},\n    \"workers1_chains_per_sec\": {ms_chains_per_sec_w1:.2},\n    \"workers2_chains_per_sec\": {ms_chains_per_sec_w2:.2},\n    \"bit_identical\": {ms_bit_identical}\n  }}",
+        sa_circuit.name,
+        sa_circuit.num_blocks(),
+        ms_cfg.chains,
+        ms_cfg.base.iterations,
+    );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, locality-aware SA move mix, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, parked WorkerPool dispatch overhead, multi-start SA, locality-aware SA move mix, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{pool_overhead_json},\n{multistart_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
         pack_rows.join(",\n"),
         snap_rows.join(",\n"),
         mcircuit.name,

@@ -34,7 +34,7 @@ pub mod pipeline;
 pub mod report;
 pub mod stats;
 
-pub use parallel::{parallel_map, parallel_map_scoped};
+pub use parallel::{parallel_map, parallel_map_scoped, PoolStats, WorkerPool};
 pub use pipeline::{FloorplanMethod, LayoutPipeline, PipelineConfig, PipelineResult};
 pub use report::{
     format_table_one, format_table_two, paper_manual_references, ManualReference,

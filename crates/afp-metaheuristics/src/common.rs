@@ -617,14 +617,20 @@ impl CostCache {
 /// The parallel batched evaluation engine of the population optimizers: one
 /// [`CostCache`] — with its full `PackCache`/`RealizeCache`/`MetricsScratch`
 /// stack — per worker, and a generation-at-a-time `evaluate` that fans the
-/// candidates out over the workers through [`afp_par::parallel_map_scoped`].
+/// candidates out over the workers through a persistent
+/// [`afp_par::WorkerPool`].
 ///
 /// This is layer 5 of the incremental stack (see `ARCHITECTURE.md`): where
 /// layers 1–4 make one evaluation cheap, the pool makes a *generation* of
 /// them concurrent. Worker caches are built once, at pool construction, and
 /// the scoped map lends each worker `&mut` access to its own cache per batch
 /// — so caches stay warm across generations and no locking happens on the
-/// evaluation path.
+/// evaluation path. The worker *threads* are equally persistent: they are
+/// spawned at pool construction and parked between generations, so an
+/// optimizer pays one wake-up per generation per active worker instead of a
+/// thread spawn-and-join (the pre-PR-6 cost). Generations smaller than the
+/// worker complement wake only as many threads as there are candidates;
+/// [`pool_stats`](EvalPool::pool_stats) exposes the dispatch counters.
 ///
 /// # Determinism contract
 ///
@@ -670,20 +676,26 @@ pub struct EvalPool {
     /// One warm evaluation stack per worker; `caches.len()` is the worker
     /// count handed to the scoped map.
     caches: Vec<CostCache>,
+    /// The parked worker threads servicing `evaluate` batches. Sized to
+    /// `caches.len()`, spawned once here, alive until the pool drops — a
+    /// 1-worker pool spawns no thread at all.
+    pool: afp_par::WorkerPool,
 }
 
 impl EvalPool {
-    /// Creates a pool with `workers` worker caches for one problem.
-    /// `workers = 0` means one per available hardware thread; any value is
-    /// clamped to at least 1.
+    /// Creates a pool with `workers` worker caches (and `workers − 1` parked
+    /// worker threads) for one problem. `workers = 0` means one per
+    /// available hardware thread; any value is clamped to at least 1.
     pub fn new(problem: &Problem, workers: usize) -> Self {
         let workers = if workers == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
             workers
-        };
+        }
+        .max(1);
         EvalPool {
-            caches: (0..workers.max(1)).map(|_| CostCache::new(problem)).collect(),
+            caches: (0..workers).map(|_| CostCache::new(problem)).collect(),
+            pool: afp_par::WorkerPool::new(workers),
         }
     }
 
@@ -695,11 +707,12 @@ impl EvalPool {
     /// Evaluates a generation of candidates, returning their costs in
     /// candidate order. Values are bit-identical to [`Problem::cost`] for
     /// every candidate at every worker count (see the determinism contract
-    /// above); with one worker no thread is spawned.
+    /// above); with one worker no thread is woken and the batch runs inline.
     pub fn evaluate(&mut self, problem: &Problem, candidates: &[Candidate]) -> Vec<f64> {
-        afp_par::parallel_map_scoped(candidates, &mut self.caches, |cache, candidate| {
-            problem.cost_cached(candidate, cache)
-        })
+        self.pool
+            .map_scoped(candidates, &mut self.caches, |cache, candidate| {
+                problem.cost_cached(candidate, cache)
+            })
     }
 
     /// Evaluates a single candidate through worker 0's cache — the pool's
@@ -717,6 +730,13 @@ impl EvalPool {
     /// Total memo misses (full evaluations) across all worker caches.
     pub fn misses(&self) -> u64 {
         self.caches.iter().map(|c| c.misses).sum()
+    }
+
+    /// Dispatch counters of the underlying [`afp_par::WorkerPool`]: batches
+    /// served, inline (single-worker) batches, thread wake-ups, and batches
+    /// clamped below the worker complement.
+    pub fn pool_stats(&self) -> afp_par::PoolStats {
+        self.pool.stats()
     }
 
     /// Selects the realization path on every worker cache (see

@@ -211,10 +211,11 @@ mod tests {
         // trajectory — every tournament, every elite, the final best cost —
         // must be reproducible for a seed at any worker count, because
         // per-candidate costs are bit-identical no matter which worker's
-        // cache evaluates them.
+        // cache evaluates them. `workers: 1` additionally pins the persistent
+        // pool's inline path against the serial default config.
         let circuit = generators::ota8();
         let serial = genetic_algorithm(&circuit, &GaConfig::small());
-        for workers in [2usize, 4] {
+        for workers in [1usize, 2, 4] {
             let cfg = GaConfig {
                 workers,
                 ..GaConfig::small()

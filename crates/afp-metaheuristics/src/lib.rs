@@ -25,10 +25,16 @@
 //! whole generations per call, SP-RL's one-candidate-at-a-time recurrence
 //! uses the pool's serial entry point — while SA uses the locality-aware move mix
 //! ([`MoveMix`], [`SaConfig::locality_bias`](SaConfig)) to keep the
-//! incremental engines' dirty sets small. See `ARCHITECTURE.md` at the
-//! repository root for the five-layer evaluation stack and its determinism
-//! contract, and `docs/TUNING.md` for how to choose worker counts,
-//! population sizes and the locality bias.
+//! incremental engines' dirty sets small. All thread pools are persistent
+//! parked [`afp_par::WorkerPool`]s: spawned once per optimizer run, parked
+//! between batches. On top of the single-run baselines, [`multistart_sa`]
+//! races N independent SA chains (seeds derived by [`chain_seed`], restarts
+//! via [`SaConfig::restarts`](SaConfig)) and [`Portfolio`] races SA variants
+//! against GA and PSO, both with the deterministic [`select_winner`]
+//! reduction. See `ARCHITECTURE.md` at the repository root for the
+//! five-layer evaluation stack and its determinism contract, and
+//! `docs/TUNING.md` for how to choose worker counts, population sizes, the
+//! locality bias, and chain/restart splits.
 //!
 //! # Examples
 //!
@@ -47,6 +53,7 @@
 
 pub mod common;
 mod ga;
+mod multistart;
 mod pso;
 mod rl_sa;
 mod sa;
@@ -54,6 +61,10 @@ mod sp_rl;
 
 pub use common::{BaselineResult, Candidate, CostCache, EvalPool, MoveMix, PerturbUndo, Problem};
 pub use ga::{genetic_algorithm, GaConfig};
+pub use multistart::{
+    chain_seed, multistart_sa, multistart_sa_on, select_winner, MultistartResult,
+    MultistartSaConfig, Portfolio, PortfolioResult,
+};
 pub use pso::{particle_swarm, PsoConfig};
 pub use rl_sa::{rl_sa, RlSaConfig};
 pub use sa::{simulated_annealing, simulated_annealing_on, simulated_annealing_with_cache, SaConfig};

@@ -1,0 +1,504 @@
+//! Multi-start SA and the heterogeneous optimizer portfolio — the first
+//! consumers of the persistent parked [`afp_par::WorkerPool`].
+//!
+//! Both entry points run *whole optimizer runs* as the unit of parallel work
+//! (where [`EvalPool`](crate::EvalPool) parallelizes within a generation):
+//! [`multistart_sa`] races N independent SA chains whose seeds are derived
+//! from one base seed, and [`Portfolio`] races heterogeneous members — SA at
+//! different locality biases and cooling schedules, GA, PSO — on the same
+//! problem. Each pool worker keeps one warm [`CostCache`] across the chains
+//! it serves, so a worker's second chain starts with hot realization and
+//! metrics scratch.
+//!
+//! # Determinism
+//!
+//! The worker count is a scheduling decision, never a results decision:
+//!
+//! * Chain `i` always runs with [`chain_seed`]`(base_seed, i)` and every
+//!   chain is an independent `simulated_annealing_with_cache` run —
+//!   bit-identical to running the same config serially, because
+//!   `cost_cached` returns the same bits regardless of cache state (the
+//!   layer 1–4 contract) and chains share no mutable state.
+//! * The winner is chosen by [`select_winner`]: feasible results beat
+//!   infeasible ones, then strictly higher reward wins, and ties resolve to
+//!   the lowest index — a pure function of the (ordered) results, so the
+//!   same winner falls out at any worker count.
+//!
+//! The differential proptest `multistart_sa_matches_serial_replay` holds the
+//! first property against N sequential replays; `portfolio_*` tests hold the
+//! second.
+
+use std::time::Instant;
+
+use afp_circuit::Circuit;
+use afp_layout::constraints;
+use afp_par::WorkerPool;
+
+use crate::common::{BaselineResult, CostCache, Problem};
+use crate::sa::{simulated_annealing_with_cache, SaConfig};
+use crate::{Baseline, GaConfig, PsoConfig};
+
+/// Derives the seed of chain `chain` from a base seed: a splitmix64 finalizer
+/// over `seed + chain · golden-ratio`, so consecutive chains get
+/// well-separated RNG streams while chain 0 of two different base seeds never
+/// collides with each other's chain 1.
+///
+/// This is the *only* seed rule multi-start uses — tests replay individual
+/// chains by calling it directly.
+pub fn chain_seed(seed: u64, chain: usize) -> u64 {
+    let mut z = seed.wrapping_add((chain as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Configuration of [`multistart_sa`]: one base [`SaConfig`] cloned per chain
+/// (with the seed rederived per chain), the number of chains, and the worker
+/// count of the pool the chains run on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultistartSaConfig {
+    /// The per-chain SA configuration; `base.seed` is the *base* seed that
+    /// [`chain_seed`] derives each chain's actual seed from.
+    pub base: SaConfig,
+    /// Number of independent chains (must be at least 1).
+    pub chains: usize,
+    /// Pool worker count: `0` means one per available hardware thread, and
+    /// the effective count is clamped to `chains`. `1` runs the chains
+    /// sequentially on the calling thread with no thread spawned.
+    pub workers: usize,
+}
+
+impl MultistartSaConfig {
+    /// A configuration small enough for unit tests.
+    pub fn small() -> Self {
+        MultistartSaConfig {
+            base: SaConfig::small(),
+            chains: 4,
+            workers: 0,
+        }
+    }
+
+    /// Table-I-scale chains with restarts on: each chain reheats twice, the
+    /// multi-start layer on top covers the cross-basin diversity that
+    /// restarts alone (which always resume from the incumbent best) cannot.
+    pub fn table1() -> Self {
+        MultistartSaConfig {
+            base: SaConfig {
+                restarts: 2,
+                ..SaConfig::table1()
+            },
+            chains: 4,
+            workers: 0,
+        }
+    }
+}
+
+/// The outcome of a [`multistart_sa`] run: every chain's result (in chain
+/// order — chain `i` ran seed [`chain_seed`]`(base, i)`) plus the winner
+/// index under [`select_winner`].
+#[derive(Debug, Clone)]
+pub struct MultistartResult {
+    /// Per-chain results, indexed by chain number.
+    pub chains: Vec<BaselineResult>,
+    /// Index into [`chains`](MultistartResult::chains) of the winning chain.
+    pub winner: usize,
+    /// Wall-clock time of the whole multi-start run in seconds.
+    pub runtime_s: f64,
+}
+
+impl MultistartResult {
+    /// The winning chain's result.
+    pub fn best(&self) -> &BaselineResult {
+        &self.chains[self.winner]
+    }
+}
+
+/// Runs `config.chains` independent SA chains on a circuit and returns every
+/// chain's result plus the deterministic winner. See [`multistart_sa_on`].
+pub fn multistart_sa(circuit: &Circuit, config: &MultistartSaConfig) -> MultistartResult {
+    let problem = Problem::new(circuit);
+    multistart_sa_on(&problem, config)
+}
+
+/// [`multistart_sa`] on an existing [`Problem`]: races the chains over a
+/// persistent [`WorkerPool`] with one warm [`CostCache`] per worker.
+///
+/// Chain `i` is bit-identical to a serial
+/// [`simulated_annealing_with_cache`] run of the base config with seed
+/// [`chain_seed`]`(base.seed, i)` — at any worker count. Only `runtime_s`
+/// (wall-clock) varies run to run.
+///
+/// # Panics
+///
+/// Panics if `config.chains` is zero.
+pub fn multistart_sa_on(problem: &Problem, config: &MultistartSaConfig) -> MultistartResult {
+    assert!(config.chains > 0, "multistart_sa needs at least one chain");
+    let started = Instant::now();
+    let workers = resolve_workers(config.workers).min(config.chains);
+    let mut pool = WorkerPool::new(workers);
+    let mut caches: Vec<CostCache> = (0..workers).map(|_| CostCache::new(problem)).collect();
+    let chain_ids: Vec<usize> = (0..config.chains).collect();
+    let chains = pool.map_scoped(&chain_ids, &mut caches, |cache, &chain| {
+        let cfg = SaConfig {
+            seed: chain_seed(config.base.seed, chain),
+            ..config.base.clone()
+        };
+        simulated_annealing_with_cache(problem, &cfg, None, cache)
+    });
+    let winner = select_winner(problem.circuit(), &chains);
+    MultistartResult {
+        chains,
+        winner,
+        runtime_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// The deterministic best-of reduction shared by [`multistart_sa`] and
+/// [`Portfolio::run`]: feasible results (every block placed, no constraint
+/// violations per [`afp_layout::constraints::has_violations`]) beat
+/// infeasible ones; within a feasibility class, strictly higher reward wins;
+/// ties keep the lowest index. A pure function of the ordered results — the
+/// same winner falls out at any worker count.
+///
+/// # Panics
+///
+/// Panics if `results` is empty.
+pub fn select_winner(circuit: &Circuit, results: &[BaselineResult]) -> usize {
+    assert!(!results.is_empty(), "select_winner needs at least one result");
+    let mut winner = 0;
+    let mut best_key = (false, f64::NEG_INFINITY);
+    for (index, result) in results.iter().enumerate() {
+        let feasible = result.floorplan.num_placed() == circuit.num_blocks()
+            && !constraints::has_violations(circuit, &result.floorplan);
+        let key = (feasible, result.reward);
+        // Strict comparisons throughout: equal keys keep the earlier index.
+        let better = (key.0 && !best_key.0) || (key.0 == best_key.0 && key.1 > best_key.1);
+        if better {
+            winner = index;
+            best_key = key;
+        }
+    }
+    winner
+}
+
+/// A heterogeneous optimizer race: every member runs on the same circuit
+/// (with member seeds derived by [`chain_seed`] from the portfolio seed) and
+/// [`select_winner`] picks the result — the portfolio analogue of racing
+/// many candidate solves against one shared engine.
+///
+/// Members run as whole, independent optimizer runs over a persistent
+/// [`WorkerPool`]. Population members (GA/PSO) are forced to `workers: 1`
+/// for the duration of the race: they already occupy one portfolio worker
+/// each, and a nested per-member pool would oversubscribe the machine
+/// without changing any result (worker counts never change results).
+///
+/// # Examples
+///
+/// ```
+/// use afp_circuit::generators;
+/// use afp_metaheuristics::Portfolio;
+///
+/// let circuit = generators::ota5();
+/// let portfolio = Portfolio::small_race();
+/// let outcome = portfolio.run(&circuit);
+/// assert_eq!(outcome.members.len(), portfolio.members.len());
+/// assert!(outcome.best().reward.is_finite());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Portfolio {
+    /// The racing members; member `i` runs with seed
+    /// [`chain_seed`]`(seed, i)`.
+    pub members: Vec<Baseline>,
+    /// Pool worker count: `0` means one per available hardware thread,
+    /// clamped to the member count; `1` runs members sequentially.
+    pub workers: usize,
+    /// Base seed the member seeds are derived from.
+    pub seed: u64,
+}
+
+impl Portfolio {
+    /// A small race for unit tests: three SA chains at spread-out locality
+    /// biases plus GA and PSO, all at unit-test scale.
+    pub fn small_race() -> Self {
+        Portfolio {
+            members: vec![
+                Baseline::Sa(SaConfig::small()),
+                Baseline::Sa(SaConfig {
+                    locality_bias: 0.9,
+                    ..SaConfig::small()
+                }),
+                Baseline::Sa(SaConfig {
+                    cooling: 0.99,
+                    restarts: 2,
+                    ..SaConfig::small()
+                }),
+                Baseline::Ga(GaConfig::small()),
+                Baseline::Pso(PsoConfig::small()),
+            ],
+            workers: 0,
+            seed: 0,
+        }
+    }
+
+    /// The Table-I-scale race: SA at locality biases 0.0 / 0.5 / 0.9 (the
+    /// 0.5 member with restarts, the 0.9 member with slower cooling — the
+    /// spread `docs/TUNING.md` motivates) against GA and PSO.
+    pub fn table1_race() -> Self {
+        Portfolio {
+            members: vec![
+                Baseline::Sa(SaConfig {
+                    locality_bias: 0.0,
+                    ..SaConfig::table1()
+                }),
+                Baseline::Sa(SaConfig {
+                    restarts: 2,
+                    ..SaConfig::table1()
+                }),
+                Baseline::Sa(SaConfig {
+                    locality_bias: 0.9,
+                    cooling: 0.99,
+                    ..SaConfig::table1()
+                }),
+                Baseline::Ga(GaConfig::table1()),
+                Baseline::Pso(PsoConfig::table1()),
+            ],
+            workers: 0,
+            seed: 0,
+        }
+    }
+
+    /// Races the members on a circuit: member `i` runs with seed
+    /// [`chain_seed`]`(self.seed, i)`, results come back in member order,
+    /// and [`select_winner`] picks the winner — all bit-identical at any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the portfolio has no members.
+    pub fn run(&self, circuit: &Circuit) -> PortfolioResult {
+        assert!(!self.members.is_empty(), "portfolio needs at least one member");
+        let started = Instant::now();
+        // Nested pools would oversubscribe: each member already has a
+        // portfolio worker, so population members evaluate serially inside
+        // it. Results are unaffected (the layer-5 contract).
+        let members: Vec<Baseline> = self
+            .members
+            .iter()
+            .map(|member| match member {
+                Baseline::Ga(cfg) => Baseline::Ga(GaConfig {
+                    workers: 1,
+                    ..cfg.clone()
+                }),
+                Baseline::Pso(cfg) => Baseline::Pso(PsoConfig {
+                    workers: 1,
+                    ..cfg.clone()
+                }),
+                other => other.clone(),
+            })
+            .collect();
+        let workers = resolve_workers(self.workers).min(members.len());
+        let mut pool = WorkerPool::new(workers);
+        // Members build their own evaluation stacks (each `Baseline::run` is
+        // a self-contained optimizer run), so the per-worker state is unit.
+        let mut slots = vec![(); workers];
+        let indexed: Vec<(usize, Baseline)> = members.into_iter().enumerate().collect();
+        let results = pool.map_scoped(&indexed, &mut slots, |_, (index, member)| {
+            member.run(circuit, chain_seed(self.seed, *index))
+        });
+        let winner = select_winner(circuit, &results);
+        PortfolioResult {
+            members: results,
+            winner,
+            runtime_s: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The outcome of a [`Portfolio::run`]: every member's result in member
+/// order plus the winner index under [`select_winner`].
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// Per-member results, indexed like [`Portfolio::members`].
+    pub members: Vec<BaselineResult>,
+    /// Index into [`members`](PortfolioResult::members) of the winner.
+    pub winner: usize,
+    /// Wall-clock time of the whole race in seconds.
+    pub runtime_s: f64,
+}
+
+impl PortfolioResult {
+    /// The winning member's result.
+    pub fn best(&self) -> &BaselineResult {
+        &self.members[self.winner]
+    }
+}
+
+fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        workers
+    }
+    .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+
+    #[test]
+    fn chain_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..16).map(|i| chain_seed(7, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "chain seeds collided");
+        assert_eq!(seeds, (0..16).map(|i| chain_seed(7, i)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multistart_is_bit_identical_at_any_worker_count() {
+        let circuit = generators::ota8();
+        let base_cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 150,
+                seed: 11,
+                ..SaConfig::small()
+            },
+            chains: 4,
+            workers: 1,
+        };
+        let serial = multistart_sa(&circuit, &base_cfg);
+        for workers in [2usize, 3, 4, 8] {
+            let parallel = multistart_sa(
+                &circuit,
+                &MultistartSaConfig {
+                    workers,
+                    ..base_cfg.clone()
+                },
+            );
+            assert_eq!(parallel.winner, serial.winner, "{workers} workers");
+            for (chain, (p, s)) in parallel.chains.iter().zip(&serial.chains).enumerate() {
+                assert_eq!(p.reward, s.reward, "chain {chain} at {workers} workers");
+                assert_eq!(p.floorplan, s.floorplan, "chain {chain} at {workers} workers");
+                assert_eq!(p.evaluations, s.evaluations, "chain {chain} at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn multistart_chains_replay_individually() {
+        // Chain i of a multi-start run is exactly a serial SA run with the
+        // derived seed — the contract the seed rule exists for.
+        let circuit = generators::ota5();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 120,
+                seed: 3,
+                ..SaConfig::small()
+            },
+            chains: 3,
+            workers: 2,
+        };
+        let result = multistart_sa(&circuit, &cfg);
+        let problem = Problem::new(&circuit);
+        for (chain, pooled) in result.chains.iter().enumerate() {
+            let chain_cfg = SaConfig {
+                seed: chain_seed(cfg.base.seed, chain),
+                ..cfg.base.clone()
+            };
+            let mut cache = CostCache::new(&problem);
+            let replay = simulated_annealing_with_cache(&problem, &chain_cfg, None, &mut cache);
+            assert_eq!(pooled.reward, replay.reward, "chain {chain}");
+            assert_eq!(pooled.floorplan, replay.floorplan, "chain {chain}");
+        }
+    }
+
+    #[test]
+    fn winner_rule_prefers_feasible_then_reward_then_index() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 200,
+                ..SaConfig::small()
+            },
+            chains: 5,
+            workers: 1,
+        };
+        let result = multistart_sa_on(&problem, &cfg);
+        let winner = &result.chains[result.winner];
+        let winner_feasible = winner.floorplan.num_placed() == circuit.num_blocks()
+            && !constraints::has_violations(&circuit, &winner.floorplan);
+        for (index, chain) in result.chains.iter().enumerate() {
+            let feasible = chain.floorplan.num_placed() == circuit.num_blocks()
+                && !constraints::has_violations(&circuit, &chain.floorplan);
+            if feasible && !winner_feasible {
+                panic!("feasible chain {index} lost to an infeasible winner");
+            }
+            if feasible == winner_feasible {
+                assert!(
+                    chain.reward < winner.reward
+                        || (chain.reward == winner.reward && index >= result.winner),
+                    "chain {index} should have beaten the winner"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn select_winner_breaks_reward_ties_by_lowest_index() {
+        let circuit = generators::ota3();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 50,
+                ..SaConfig::small()
+            },
+            chains: 2,
+            workers: 1,
+        };
+        let result = multistart_sa(&circuit, &cfg);
+        // Duplicate the results: the duplicate of the winner ties it exactly
+        // and must lose on index.
+        let mut doubled = result.chains.clone();
+        doubled.extend(result.chains.iter().cloned());
+        let winner = select_winner(&circuit, &doubled);
+        assert!(winner < result.chains.len(), "tie must keep the lowest index");
+        assert_eq!(winner, result.winner);
+    }
+
+    #[test]
+    fn portfolio_is_bit_identical_at_any_worker_count() {
+        let circuit = generators::ota5();
+        let base = Portfolio {
+            workers: 1,
+            ..Portfolio::small_race()
+        };
+        let serial = base.run(&circuit);
+        for workers in [2usize, 4] {
+            let race = Portfolio { workers, ..base.clone() };
+            let parallel = race.run(&circuit);
+            assert_eq!(parallel.winner, serial.winner, "{workers} workers");
+            for (index, (p, s)) in parallel.members.iter().zip(&serial.members).enumerate() {
+                assert_eq!(p.reward, s.reward, "member {index} at {workers} workers");
+                assert_eq!(p.floorplan, s.floorplan, "member {index} at {workers} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_members_keep_their_algorithms() {
+        let circuit = generators::ota3();
+        let portfolio = Portfolio::small_race();
+        let outcome = portfolio.run(&circuit);
+        let names: Vec<&str> = outcome.members.iter().map(|m| m.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["SA", "SA", "SA", "GA", "PSO"]);
+        assert!(outcome.winner < outcome.members.len());
+        assert_eq!(
+            outcome.best().floorplan.num_placed(),
+            circuit.num_blocks(),
+            "portfolio winner left blocks unplaced"
+        );
+    }
+}

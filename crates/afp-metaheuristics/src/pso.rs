@@ -195,10 +195,11 @@ mod tests {
     fn pso_results_are_identical_across_worker_counts() {
         // EvalPool determinism: the swarm trajectory (personal bests, global
         // best, final decoded candidate) is reproducible for a seed at any
-        // worker count.
+        // worker count. `workers: 1` additionally pins the persistent pool's
+        // inline path against the serial default config.
         let circuit = generators::ota8();
         let serial = particle_swarm(&circuit, &PsoConfig::small());
-        for workers in [2usize, 4] {
+        for workers in [1usize, 2, 4] {
             let cfg = PsoConfig {
                 workers,
                 ..PsoConfig::small()

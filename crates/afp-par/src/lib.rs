@@ -12,13 +12,25 @@
 //!
 //! Work is distributed lock-free in both entry points: items are split into
 //! contiguous chunks and workers claim chunks through a single atomic
-//! counter, writing results into per-worker buffers that are merged — in
-//! input order, so the reduction is deterministic regardless of which worker
-//! finished first — after the scope joins. No mutex is ever taken per item,
-//! so workers running short tasks do not serialize on a lock.
+//! counter, writing results into index-keyed slots that come back in input
+//! order — so the reduction is deterministic regardless of which worker
+//! finished first. No mutex is ever taken per item, so workers running short
+//! tasks do not serialize on a lock.
+//!
+//! Since PR 6 the scoped path is backed by a persistent parked [`WorkerPool`]:
+//! threads are spawned once and parked between batches, so a long-lived
+//! caller (an optimizer evaluating thousands of generations) pays the spawn
+//! cost once instead of per batch. [`parallel_map_scoped`] remains as a
+//! compatibility shim that builds a transient pool per call — same results,
+//! spawn-per-call cost — and [`parallel_map`] (by-value, no worker state)
+//! keeps its original scoped-spawn implementation.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+mod pool;
+
+pub use pool::{PoolStats, WorkerPool};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -127,6 +139,14 @@ where
 /// runs, which is what makes "bit-identical at one worker" a trivial
 /// guarantee rather than a testing burden.
 ///
+/// This free function is the *spawn-per-call* form: each call builds a
+/// transient [`WorkerPool`], which spawns and joins its threads within the
+/// call. Callers that dispatch many batches should hold a [`WorkerPool`] and
+/// use [`WorkerPool::map_scoped`] — identical results (same chunking, same
+/// candidate-order merge), but the threads are spawned once and parked
+/// between batches. The `pool_overhead` section of `BENCH_pack.json` records
+/// the measured gap.
+///
 /// # Panics
 ///
 /// Panics if `states` is empty; propagates panics from worker closures.
@@ -160,50 +180,13 @@ where
         !states.is_empty(),
         "parallel_map_scoped needs at least one worker state"
     );
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = states.len().min(n);
-    if workers == 1 {
-        let state = &mut states[0];
-        return items.iter().map(|item| f(state, item)).collect();
-    }
-
-    let chunk = (n / (workers * 4)).max(1);
-    let num_chunks = n.div_ceil(chunk);
-    let next_chunk = AtomicUsize::new(0);
-
-    let buffers: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let f = &f;
-        let next_chunk = &next_chunk;
-        let handles: Vec<_> = states[..workers]
-            .iter_mut()
-            .map(|state| {
-                scope.spawn(move || {
-                    let mut local: Vec<(usize, R)> = Vec::with_capacity(chunk * 2);
-                    loop {
-                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
-                        if c >= num_chunks {
-                            break;
-                        }
-                        let start = c * chunk;
-                        let end = (start + chunk).min(n);
-                        for (offset, item) in items[start..end].iter().enumerate() {
-                            local.push((start + offset, f(state, item)));
-                        }
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-
-    merge_in_order(n, buffers)
+    // A transient pool sized to the effective worker count: `states.len()`
+    // is the worker count (clamped to the item count), exactly as before the
+    // persistent pool existed. Sizing the pool to the clamp means a 1-item
+    // or 1-state call constructs a 1-worker pool, which spawns no thread and
+    // runs the serial loop inline.
+    let workers = states.len().min(items.len()).max(1);
+    WorkerPool::new(workers).map_scoped(items, states, f)
 }
 
 /// Merges per-worker `(index, value)` buffers into one vector in input order.

@@ -24,23 +24,27 @@ for diff_test in \
     incremental_realize_matches_full_after_perturbation_sequences \
     incremental_pack_matches_full_on_perturbation_walks \
     incremental_metrics_match_full_rescan_oracle \
-    eval_pool_matches_serial_cost_cached; do
+    eval_pool_matches_serial_cost_cached \
+    multistart_sa_matches_serial_replay; do
     diff_out="$(cargo test --test properties "$diff_test" 2>&1)" \
         || { echo "$diff_out"; exit 1; }
     echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
         || { echo "ci: differential proptest filter '$diff_test' matched no tests" >&2; exit 1; }
 done
-# The EvalPool differential proptest once more under each oracle feature (the
-# root manifest forwards them to afp-metaheuristics), so the pool's worker
-# caches are exercised against the full-rebuild realization and full-rescan
-# metrics paths too — a layer-5 bug that only shows against an oracle default
-# would otherwise hide behind the incremental defaults above.
+# The EvalPool and multi-start differential proptests once more under each
+# oracle feature (the root manifest forwards them to afp-metaheuristics), so
+# the pool's worker caches are exercised against the full-rebuild realization
+# and full-rescan metrics paths too — a layer-5 bug that only shows against
+# an oracle default would otherwise hide behind the incremental defaults
+# above.
 for oracle_feature in full-realize full-metrics; do
-    diff_out="$(cargo test --test properties eval_pool_matches_serial_cost_cached \
-        --features "$oracle_feature" 2>&1)" \
-        || { echo "$diff_out"; exit 1; }
-    echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
-        || { echo "ci: eval_pool proptest matched no tests under $oracle_feature" >&2; exit 1; }
+    for pool_test in eval_pool_matches_serial_cost_cached multistart_sa_matches_serial_replay; do
+        diff_out="$(cargo test --test properties "$pool_test" \
+            --features "$oracle_feature" 2>&1)" \
+            || { echo "$diff_out"; exit 1; }
+        echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
+            || { echo "ci: $pool_test matched no tests under $oracle_feature" >&2; exit 1; }
+    done
 done
 cargo test -q -p afp-metaheuristics --features full-realize
 cargo test -q -p afp-metaheuristics --features full-metrics
@@ -69,7 +73,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     snap = json.load(f)
 for section in ("pack", "snap", "masks", "incremental_realize", "eval_pool",
-                "sa_locality", "sa"):
+                "pool_overhead", "multistart", "sa_locality", "sa"):
     assert section in snap, f"missing snapshot section: {section}"
 inc = snap["incremental_realize"]
 for key in ("incremental_move_ns", "incremental_realize_full_metrics_move_ns",
@@ -89,6 +93,29 @@ for key in ("hardware_threads", "population", "serial_generation_ns",
 # sign are gated.
 assert pool["bit_identical"] is True, "EvalPool bit-identity check not recorded"
 assert pool["speedup_workers4"] > 0.0, "nonsensical eval_pool speedup"
+po = snap["pool_overhead"]
+for key in ("workers", "batch_items", "spawn_batch_ns", "parked_batch_ns",
+            "spawn_over_parked", "parked_batches", "parked_threads_woken"):
+    assert key in po, f"missing pool_overhead key: {key}"
+# The persistent pool's acceptance bar: a parked dispatch (epoch bump +
+# unpark per active worker) must cost strictly less per batch than the
+# spawn-per-call shim's thread spawn-and-join — on any machine, including the
+# 1-thread container (both models context-switch there; only the shim also
+# creates and tears down threads).
+assert po["parked_batch_ns"] > 0.0, "nonsensical parked dispatch time"
+assert po["parked_batch_ns"] < po["spawn_batch_ns"], \
+    "parked pool dispatch is not cheaper than spawn-per-call"
+ms = snap["multistart"]
+for key in ("chains", "chain_iterations", "workers1_ns", "workers2_ns",
+            "workers1_chains_per_sec", "workers2_chains_per_sec",
+            "bit_identical"):
+    assert key in ms, f"missing multistart key: {key}"
+# Same convention as eval_pool: the snapshot binary compares every pooled
+# chain against its serial replay (and the winner against the serial
+# reduction) and aborts on divergence before writing JSON.
+assert ms["bit_identical"] is True, "multistart bit-identity check not recorded"
+assert ms["workers1_chains_per_sec"] > 0.0, "nonsensical multistart throughput"
+assert ms["workers2_chains_per_sec"] > 0.0, "nonsensical multistart throughput"
 loc = snap["sa_locality"]
 for key in ("locality_bias", "uniform_move_ns", "local_move_ns",
             "uniform_pack_replay_rate", "local_pack_replay_rate",

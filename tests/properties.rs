@@ -705,4 +705,73 @@ proptest! {
             prop_assert_eq!(cost, problem.cost(candidate), "oracle-path pool cost diverged");
         }
     }
+
+    /// An N-chain `multistart_sa` run over the persistent worker pool must
+    /// be, chain for chain, bit-identical to N sequential
+    /// `simulated_annealing_with_cache` runs with the derived chain seeds on
+    /// fresh caches — and pick the same winner — for any chain count, any
+    /// worker count, and restart schedules on or off. This is the
+    /// whole-trajectory analogue of `eval_pool_matches_serial_cost_cached`:
+    /// a worker's cache is warm with whatever chain it served last, so any
+    /// cache-state leakage into costs would split the trajectories.
+    #[test]
+    fn multistart_sa_matches_serial_replay(
+        seed in 0u64..1_000_000,
+        chains in 1usize..5,
+        workers in 1usize..5,
+        restarts in 0usize..3,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::metaheuristics::{
+            chain_seed, multistart_sa, select_winner, simulated_annealing_with_cache,
+            CostCache, MultistartSaConfig, Problem, SaConfig,
+        };
+        let circuit = match seed % 3 {
+            0 => generators::ota5(),
+            1 => generators::ota8(),
+            _ => generators::bias9(),
+        };
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 120,
+                seed,
+                locality_bias: 0.5,
+                restarts,
+                ..SaConfig::small()
+            },
+            chains,
+            workers,
+        };
+        let pooled = multistart_sa(&circuit, &cfg);
+        prop_assert_eq!(pooled.chains.len(), chains);
+
+        let problem = Problem::new(&circuit);
+        let mut serial = Vec::with_capacity(chains);
+        for chain in 0..chains {
+            let chain_cfg = SaConfig {
+                seed: chain_seed(cfg.base.seed, chain),
+                ..cfg.base.clone()
+            };
+            let mut cache = CostCache::new(&problem);
+            serial.push(simulated_annealing_with_cache(&problem, &chain_cfg, None, &mut cache));
+        }
+        for (chain, (p, s)) in pooled.chains.iter().zip(&serial).enumerate() {
+            prop_assert_eq!(
+                p.reward, s.reward,
+                "chain {} reward diverged from serial replay ({} workers)",
+                chain, workers
+            );
+            prop_assert_eq!(p.evaluations, s.evaluations, "chain {} budget diverged", chain);
+            prop_assert_eq!(
+                &p.floorplan, &s.floorplan,
+                "chain {} floorplan diverged ({} workers)",
+                chain, workers
+            );
+        }
+        prop_assert_eq!(
+            pooled.winner,
+            select_winner(&circuit, &serial),
+            "winner diverged from the serial reduction"
+        );
+    }
 }
