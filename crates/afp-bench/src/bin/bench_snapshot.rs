@@ -161,12 +161,14 @@ fn main() {
             .chains
             .iter()
             .zip(&serial_chains)
-            .all(|(p, s)| {
-                p.reward == s.reward
-                    && p.evaluations == s.evaluations
-                    && p.floorplan == s.floorplan
+            .all(|(outcome, s)| {
+                outcome.result().is_some_and(|p| {
+                    p.reward == s.reward
+                        && p.evaluations == s.evaluations
+                        && p.floorplan == s.floorplan
+                })
             })
-            && ms_pooled.winner == select_winner(&sa_circuit, &serial_chains)
+            && ms_pooled.winner == Some(select_winner(&sa_circuit, &serial_chains))
     };
     assert!(
         ms_bit_identical,

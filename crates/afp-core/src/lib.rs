@@ -34,7 +34,9 @@ pub mod pipeline;
 pub mod report;
 pub mod stats;
 
-pub use parallel::{parallel_map, parallel_map_scoped, PoolStats, WorkerPool};
+pub use parallel::{
+    parallel_map, parallel_map_scoped, CancelToken, PoolStats, RunControl, StopReason, WorkerPool,
+};
 pub use pipeline::{FloorplanMethod, LayoutPipeline, PipelineConfig, PipelineResult};
 pub use report::{
     format_table_one, format_table_two, paper_manual_references, ManualReference,

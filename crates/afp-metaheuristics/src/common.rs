@@ -9,9 +9,11 @@ use rand::Rng;
 use afp_circuit::{shapes::shape_sets, Circuit, Shape, ShapeSet, SHAPES_PER_BLOCK};
 use afp_layout::metrics::MetricsScratch;
 use afp_layout::{
-    metrics, Canvas, Floorplan, PackScratch, RealizeCache, RewardWeights, SequencePair,
-    SpacingConfig,
+    constraints, metrics, Canvas, Floorplan, PackScratch, RealizeCache, RewardWeights,
+    SequencePair, SpacingConfig,
 };
+
+pub use afp_par::{CancelToken, RunControl, StopReason};
 
 /// A candidate solution: a sequence pair plus the index of the chosen
 /// candidate shape for every block.
@@ -809,10 +811,18 @@ pub struct BaselineResult {
     pub runtime_s: f64,
     /// Number of candidate evaluations performed.
     pub evaluations: usize,
+    /// Why the run returned: [`StopReason::Completed`] for a full-budget run
+    /// (the only value historical entry points ever produce), any other
+    /// variant when a [`RunControl`] cut the run short — in which case
+    /// `floorplan`/`reward` are the best *so far*, not the best of the full
+    /// budget.
+    pub stop: StopReason,
 }
 
 impl BaselineResult {
-    /// Assembles a result from a problem and its best candidate.
+    /// Assembles a result from a problem and its best candidate (with
+    /// [`StopReason::Completed`]; interrupted runs override via
+    /// [`with_stop`](BaselineResult::with_stop)).
     pub fn from_candidate(
         algorithm: &str,
         problem: &Problem,
@@ -835,7 +845,80 @@ impl BaselineResult {
             reward,
             runtime_s: started.elapsed().as_secs_f64(),
             evaluations,
+            stop: StopReason::Completed,
         }
+    }
+
+    /// Replaces the stop reason (builder-style, used by the controlled
+    /// entry points when a run is interrupted).
+    pub fn with_stop(mut self, stop: StopReason) -> Self {
+        self.stop = stop;
+        self
+    }
+}
+
+/// Whether a candidate realizes to a fully placed, violation-free floorplan
+/// — the predicate `stop_on_first_feasible` races and
+/// [`select_winner`](crate::select_winner) agree on.
+pub fn candidate_is_feasible(problem: &Problem, candidate: &Candidate) -> bool {
+    let floorplan = problem.realize(candidate);
+    floorplan.num_placed() == problem.num_blocks()
+        && !constraints::has_violations(problem.circuit(), &floorplan)
+}
+
+/// One slot of a multistart / portfolio race: what became of the chain that
+/// ran (or should have run) there.
+///
+/// Races isolate failure per slot — a panicking chain is caught, recorded
+/// here and its worker's [`CostCache`] rebuilt, instead of unwinding the
+/// whole race (see the "run control & failure domains" section of
+/// `ARCHITECTURE.md`).
+#[derive(Debug, Clone)]
+pub enum ChainOutcome {
+    /// The chain ran to a result (complete or control-interrupted — check
+    /// [`BaselineResult::stop`]).
+    Finished(BaselineResult),
+    /// The chain panicked; the payload's message is retained. The worker's
+    /// cache was treated as poisoned and rebuilt, so later chains on the
+    /// same worker are unaffected.
+    Panicked(String),
+    /// The chain never started: cancellation (deadline, explicit cancel, or
+    /// a sibling's first-feasible win) tripped at the pool's chunk-claim
+    /// boundary before this slot was claimed.
+    Skipped,
+}
+
+impl ChainOutcome {
+    /// The result, if the chain finished.
+    pub fn result(&self) -> Option<&BaselineResult> {
+        match self {
+            ChainOutcome::Finished(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Whether the chain panicked.
+    pub fn is_panicked(&self) -> bool {
+        matches!(self, ChainOutcome::Panicked(_))
+    }
+
+    /// The panic message, if the chain panicked.
+    pub fn panic_message(&self) -> Option<&str> {
+        match self {
+            ChainOutcome::Panicked(message) => Some(message),
+            _ => None,
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub(crate) fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

@@ -7,7 +7,9 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, EvalPool, Problem};
+use crate::common::{
+    candidate_is_feasible, BaselineResult, Candidate, EvalPool, Problem, RunControl, StopReason,
+};
 
 /// Genetic-algorithm configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +84,22 @@ fn order_crossover<R: Rng + ?Sized>(a: &[usize], b: &[usize], rng: &mut R) -> Ve
     let mut fill = fill.into_iter();
     for slot in child.iter_mut() {
         if *slot == usize::MAX {
-            *slot = fill.next().expect("enough remaining genes");
+            match fill.next() {
+                Some(gene) => *slot = gene,
+                None => {
+                    // Two permutations of the same gene set always provide
+                    // exactly enough fill genes; running out means a caller
+                    // bred candidates over mismatched sets. Surface that in
+                    // debug builds, degrade to parent `a` in release instead
+                    // of unwinding a whole race.
+                    debug_assert!(
+                        false,
+                        "order crossover ran out of fill genes (parents are not \
+                         permutations of the same set)"
+                    );
+                    return a.to_vec();
+                }
+            }
         }
     }
     child
@@ -104,6 +121,23 @@ fn crossover<R: Rng + ?Sized>(a: &Candidate, b: &Candidate, rng: &mut R) -> Cand
 
 /// Runs the genetic algorithm on a circuit.
 pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult {
+    genetic_algorithm_controlled(circuit, config, &RunControl::unbounded())
+}
+
+/// [`genetic_algorithm`] under a [`RunControl`]: polled once per generation
+/// (each generation is already `population` evaluations wide, so no stride
+/// gating is needed — see `docs/TUNING.md`).
+///
+/// A completed run returns the best of the *final* population, exactly as
+/// the historical entry point does; an interrupted run returns the best
+/// candidate seen across all generations so far, with the interrupting
+/// [`StopReason`]. Polling draws nothing from the RNG, so an uninterrupted
+/// controlled run is bit-identical to an uncontrolled one.
+pub fn genetic_algorithm_controlled(
+    circuit: &Circuit,
+    config: &GaConfig,
+    control: &RunControl,
+) -> BaselineResult {
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -120,12 +154,28 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
         })
         .collect();
     let mut costs: Vec<f64> = pool.evaluate(&problem, &population);
+    debug_assert!(
+        costs.iter().all(|c| c.is_finite()),
+        "non-finite candidate cost would scramble selection"
+    );
     let mut evaluations = population.len();
 
+    // Best-so-far across generations, consulted only when a control
+    // interrupts the run (a completed run keeps the historical
+    // best-of-final-population return, preserving bit-identity).
+    let (mut seen_best, mut seen_best_cost) = best_of(&population, &costs);
+    let mut stop = StopReason::Completed;
+    if let Some(reason) = early_stop(&problem, control, &seen_best, evaluations) {
+        return BaselineResult::from_candidate("GA", &problem, &seen_best, started, evaluations)
+            .with_stop(reason);
+    }
+
     for _gen in 0..config.generations {
-        // Sort by fitness (ascending cost).
+        // Sort by fitness (ascending cost). `total_cmp` gives a total order
+        // even if a NaN cost ever slips through, so selection can never be
+        // silently scrambled by `partial_cmp` returning `None`.
         let mut order: Vec<usize> = (0..population.len()).collect();
-        order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
         let mut next: Vec<Candidate> = order
             .iter()
             .take(config.elitism.min(population.len()))
@@ -150,16 +200,62 @@ pub fn genetic_algorithm(circuit: &Circuit, config: &GaConfig) -> BaselineResult
         // way their costs are bit-identical, so worker count never changes
         // the selection pressure.
         costs = pool.evaluate(&problem, &population);
+        debug_assert!(
+            costs.iter().all(|c| c.is_finite()),
+            "non-finite candidate cost would scramble selection"
+        );
         evaluations += population.len();
+        let (gen_best, gen_best_cost) = best_of(&population, &costs);
+        if gen_best_cost < seen_best_cost {
+            seen_best = gen_best;
+            seen_best_cost = gen_best_cost;
+        }
+        if let Some(reason) = early_stop(&problem, control, &seen_best, evaluations) {
+            stop = reason;
+            break;
+        }
     }
 
+    if stop.is_interrupted() {
+        return BaselineResult::from_candidate("GA", &problem, &seen_best, started, evaluations)
+            .with_stop(stop);
+    }
     let best_idx = costs
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
     BaselineResult::from_candidate("GA", &problem, &population[best_idx], started, evaluations)
+}
+
+/// The lowest-cost member of a scored population (lowest index on ties).
+fn best_of(population: &[Candidate], costs: &[f64]) -> (Candidate, f64) {
+    let idx = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (population[idx].clone(), costs[idx])
+}
+
+/// The per-generation control check shared by the entry and loop polls:
+/// budget/cancel/deadline first, then the first-feasible race predicate.
+fn early_stop(
+    problem: &Problem,
+    control: &RunControl,
+    seen_best: &Candidate,
+    evaluations: usize,
+) -> Option<StopReason> {
+    if let Some(reason) = control.poll_now(evaluations as u64) {
+        return Some(reason);
+    }
+    if control.stop_on_first_feasible() && candidate_is_feasible(problem, seen_best) {
+        control.cancel();
+        return Some(StopReason::FirstFeasible);
+    }
+    None
 }
 
 fn tournament_select<'a, R: Rng + ?Sized>(

@@ -36,6 +36,17 @@
 //! `docs/TUNING.md` for how to choose worker counts, population sizes, the
 //! locality bias, and chain/restart splits.
 //!
+//! Every optimizer also has a `*_controlled` entry point taking a
+//! [`RunControl`] — a wall-clock deadline, an evaluation budget, a
+//! cooperative [`CancelToken`], and an opt-in first-feasible race mode —
+//! and reports *why* it stopped in [`BaselineResult::stop`]
+//! ([`StopReason`]). Controls are polled at deterministic strides and draw
+//! nothing from the RNG, so an uninterrupted controlled run is bit-identical
+//! to an uncontrolled one. Multi-start and portfolio races additionally
+//! isolate panicking chains per slot ([`ChainOutcome`]) and reduce the
+//! winner over the survivors; the `fault-inject` feature adds a
+//! deterministic fault-injection harness over exactly that machinery.
+//!
 //! # Examples
 //!
 //! ```
@@ -59,16 +70,25 @@ mod rl_sa;
 mod sa;
 mod sp_rl;
 
-pub use common::{BaselineResult, Candidate, CostCache, EvalPool, MoveMix, PerturbUndo, Problem};
-pub use ga::{genetic_algorithm, GaConfig};
+pub use common::{
+    candidate_is_feasible, BaselineResult, Candidate, CancelToken, ChainOutcome, CostCache,
+    EvalPool, MoveMix, PerturbUndo, Problem, RunControl, StopReason,
+};
+pub use ga::{genetic_algorithm, genetic_algorithm_controlled, GaConfig};
+#[cfg(feature = "fault-inject")]
+pub use multistart::multistart_sa_injected;
 pub use multistart::{
-    chain_seed, multistart_sa, multistart_sa_on, select_winner, MultistartResult,
+    chain_seed, multistart_sa, multistart_sa_controlled, multistart_sa_on,
+    multistart_sa_on_controlled, select_surviving_winner, select_winner, MultistartResult,
     MultistartSaConfig, Portfolio, PortfolioResult,
 };
-pub use pso::{particle_swarm, PsoConfig};
-pub use rl_sa::{rl_sa, RlSaConfig};
-pub use sa::{simulated_annealing, simulated_annealing_on, simulated_annealing_with_cache, SaConfig};
-pub use sp_rl::{sequence_pair_rl, SpRlConfig};
+pub use pso::{particle_swarm, particle_swarm_controlled, PsoConfig};
+pub use rl_sa::{rl_sa, rl_sa_controlled, RlSaConfig};
+pub use sa::{
+    simulated_annealing, simulated_annealing_controlled, simulated_annealing_on,
+    simulated_annealing_with_cache, SaConfig,
+};
+pub use sp_rl::{sequence_pair_rl, sequence_pair_rl_on, sequence_pair_rl_on_controlled, SpRlConfig};
 
 use afp_circuit::Circuit;
 
@@ -124,28 +144,46 @@ impl Baseline {
     /// Runs the baseline on a circuit with a specific seed (the Table I
     /// harness repeats runs over several seeds to report interquartile means).
     pub fn run(&self, circuit: &Circuit, seed: u64) -> BaselineResult {
+        self.run_controlled(circuit, seed, &RunControl::unbounded())
+    }
+
+    /// [`Baseline::run`] under a [`RunControl`]: the control is threaded
+    /// into the baseline's controlled entry point, so deadlines, budgets,
+    /// cancellation and the first-feasible race mode apply uniformly across
+    /// algorithms (this is what lets [`Portfolio`] race heterogeneous
+    /// members under one shared control). An uninterrupted run is
+    /// bit-identical to [`Baseline::run`].
+    pub fn run_controlled(
+        &self,
+        circuit: &Circuit,
+        seed: u64,
+        control: &RunControl,
+    ) -> BaselineResult {
         match self {
             Baseline::Sa(cfg) => {
                 let cfg = SaConfig { seed, ..cfg.clone() };
-                simulated_annealing(circuit, &cfg)
+                let problem = Problem::new(circuit);
+                let mut cache = CostCache::new(&problem);
+                simulated_annealing_controlled(&problem, &cfg, None, &mut cache, control)
             }
             Baseline::Ga(cfg) => {
                 let cfg = GaConfig { seed, ..cfg.clone() };
-                genetic_algorithm(circuit, &cfg)
+                genetic_algorithm_controlled(circuit, &cfg, control)
             }
             Baseline::Pso(cfg) => {
                 let cfg = PsoConfig { seed, ..cfg.clone() };
-                particle_swarm(circuit, &cfg)
+                particle_swarm_controlled(circuit, &cfg, control)
             }
             Baseline::RlSa(cfg) => {
                 let mut cfg = cfg.clone();
                 cfg.warmup.seed = seed;
                 cfg.refinement.seed = seed.wrapping_add(1);
-                rl_sa(circuit, &cfg)
+                rl_sa_controlled(circuit, &cfg, control)
             }
             Baseline::SpRl(cfg) => {
                 let cfg = SpRlConfig { seed, ..cfg.clone() };
-                sequence_pair_rl(circuit, &cfg)
+                let problem = Problem::new(circuit);
+                sequence_pair_rl_on_controlled(&problem, &cfg, control).0
             }
         }
     }

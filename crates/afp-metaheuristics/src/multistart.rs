@@ -27,15 +27,39 @@
 //! The differential proptest `multistart_sa_matches_serial_replay` holds the
 //! first property against N sequential replays; `portfolio_*` tests hold the
 //! second.
+//!
+//! # Run control and failure domains
+//!
+//! The `*_controlled` entry points thread a [`RunControl`] through every
+//! chain: each chain polls the shared deadline / budget / cancel token at
+//! its own stride, the pool observes the control's cancel token at
+//! chunk-claim boundaries (chains that never started come back as
+//! [`ChainOutcome::Skipped`]), and — with
+//! [`RunControl::with_stop_on_first_feasible`] — the first chain to reach a
+//! feasible floorplan raises the token so the rest of the race stands down.
+//! Race mode is off by default; an uninterrupted controlled run is
+//! bit-identical to an uncontrolled one.
+//!
+//! Each chain is additionally its own failure domain: a panicking chain is
+//! caught per slot and recorded as [`ChainOutcome::Panicked`] instead of
+//! unwinding the whole race, its worker's [`CostCache`] is rebuilt from
+//! scratch (panics can leave scratch state mid-update), and the winner is
+//! reduced deterministically over the survivors. The `fault-inject` feature
+//! adds [`multistart_sa_injected`], which drives exactly this machinery with
+//! a seeded [`FaultPlan`](afp_par::fault::FaultPlan) — the robustness
+//! proptests' entry point.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use afp_circuit::Circuit;
 use afp_layout::constraints;
 use afp_par::WorkerPool;
 
-use crate::common::{BaselineResult, CostCache, Problem};
-use crate::sa::{simulated_annealing_with_cache, SaConfig};
+use crate::common::{
+    panic_payload_message, BaselineResult, ChainOutcome, CostCache, Problem, RunControl, StopReason,
+};
+use crate::sa::{simulated_annealing_controlled, SaConfig};
 use crate::{Baseline, GaConfig, PsoConfig};
 
 /// Derives the seed of chain `chain` from a base seed: a splitmix64 finalizer
@@ -93,28 +117,40 @@ impl MultistartSaConfig {
     }
 }
 
-/// The outcome of a [`multistart_sa`] run: every chain's result (in chain
+/// The outcome of a [`multistart_sa`] run: every chain's outcome (in chain
 /// order — chain `i` ran seed [`chain_seed`]`(base, i)`) plus the winner
-/// index under [`select_winner`].
+/// index under [`select_winner`], reduced over the surviving chains.
 #[derive(Debug, Clone)]
 pub struct MultistartResult {
-    /// Per-chain results, indexed by chain number.
-    pub chains: Vec<BaselineResult>,
-    /// Index into [`chains`](MultistartResult::chains) of the winning chain.
-    pub winner: usize,
+    /// Per-chain outcomes, indexed by chain number. A chain that ran to its
+    /// own stop is [`ChainOutcome::Finished`] (inspect its
+    /// [`BaselineResult::stop`] for *why* it stopped); a chain whose run
+    /// panicked is [`ChainOutcome::Panicked`]; a chain cancelled before it
+    /// ever started is [`ChainOutcome::Skipped`].
+    pub chains: Vec<ChainOutcome>,
+    /// Index into [`chains`](MultistartResult::chains) of the winning chain
+    /// under [`select_winner`]'s rule, reduced over the finished chains
+    /// only. `None` when no chain finished (all panicked or skipped).
+    pub winner: Option<usize>,
     /// Wall-clock time of the whole multi-start run in seconds.
     pub runtime_s: f64,
+    /// Why the run as a whole ended — the aggregate of the per-chain stop
+    /// reasons: [`StopReason::FirstFeasible`] if any chain won the race,
+    /// otherwise the first chain-reported interrupt in chain order,
+    /// otherwise [`StopReason::Cancelled`] if any chain was skipped,
+    /// otherwise [`StopReason::Completed`].
+    pub stop: StopReason,
 }
 
 impl MultistartResult {
-    /// The winning chain's result.
-    pub fn best(&self) -> &BaselineResult {
-        &self.chains[self.winner]
+    /// The winning chain's result, if any chain finished.
+    pub fn best(&self) -> Option<&BaselineResult> {
+        self.winner.and_then(|w| self.chains[w].result())
     }
 }
 
 /// Runs `config.chains` independent SA chains on a circuit and returns every
-/// chain's result plus the deterministic winner. See [`multistart_sa_on`].
+/// chain's outcome plus the deterministic winner. See [`multistart_sa_on`].
 pub fn multistart_sa(circuit: &Circuit, config: &MultistartSaConfig) -> MultistartResult {
     let problem = Problem::new(circuit);
     multistart_sa_on(&problem, config)
@@ -124,32 +160,122 @@ pub fn multistart_sa(circuit: &Circuit, config: &MultistartSaConfig) -> Multista
 /// persistent [`WorkerPool`] with one warm [`CostCache`] per worker.
 ///
 /// Chain `i` is bit-identical to a serial
-/// [`simulated_annealing_with_cache`] run of the base config with seed
-/// [`chain_seed`]`(base.seed, i)` — at any worker count. Only `runtime_s`
-/// (wall-clock) varies run to run.
+/// [`simulated_annealing_with_cache`](crate::simulated_annealing_with_cache)
+/// run of the base config with seed [`chain_seed`]`(base.seed, i)` — at any
+/// worker count. Only `runtime_s` (wall-clock) varies run to run.
 ///
 /// # Panics
 ///
 /// Panics if `config.chains` is zero.
 pub fn multistart_sa_on(problem: &Problem, config: &MultistartSaConfig) -> MultistartResult {
+    multistart_sa_on_controlled(problem, config, &RunControl::unbounded())
+}
+
+/// [`multistart_sa`] under a [`RunControl`] (circuit-level convenience for
+/// [`multistart_sa_on_controlled`]).
+pub fn multistart_sa_controlled(
+    circuit: &Circuit,
+    config: &MultistartSaConfig,
+    control: &RunControl,
+) -> MultistartResult {
+    let problem = Problem::new(circuit);
+    multistart_sa_on_controlled(&problem, config, control)
+}
+
+/// [`multistart_sa_on`] under a [`RunControl`]: every chain polls the shared
+/// control, the pool observes its cancel token at chunk-claim boundaries,
+/// and a panicking chain is isolated into [`ChainOutcome::Panicked`] with
+/// its worker's cache rebuilt. An uninterrupted run (no deadline hit, no
+/// cancellation, race mode off) is bit-identical to [`multistart_sa_on`].
+///
+/// # Panics
+///
+/// Panics if `config.chains` is zero.
+pub fn multistart_sa_on_controlled(
+    problem: &Problem,
+    config: &MultistartSaConfig,
+    control: &RunControl,
+) -> MultistartResult {
+    multistart_sa_core(problem, config, control, &|_| {})
+}
+
+/// [`multistart_sa_on_controlled`] with a deterministic [`FaultPlan`]
+/// injecting a panic or a stall at the start of each planned chain — the
+/// entry point of the robustness proptests. Injected panics exercise exactly
+/// the production isolation path (per-slot catch, cache rebuild, surviving
+/// winner); stalls only perturb scheduling, which results must not depend
+/// on.
+///
+/// [`FaultPlan`]: afp_par::fault::FaultPlan
+///
+/// # Panics
+///
+/// Panics if `config.chains` is zero.
+#[cfg(feature = "fault-inject")]
+pub fn multistart_sa_injected(
+    problem: &Problem,
+    config: &MultistartSaConfig,
+    control: &RunControl,
+    plan: &afp_par::fault::FaultPlan,
+) -> MultistartResult {
+    multistart_sa_core(problem, config, control, &|chain| plan.inject(chain as u64))
+}
+
+/// The shared chain-racing core: `inject` runs at the top of each chain's
+/// closure (a no-op in production, a [`FaultPlan`] probe under
+/// `fault-inject`) *inside* the per-slot panic catch, so injected panics
+/// take the same isolation path real ones would.
+fn multistart_sa_core<F>(
+    problem: &Problem,
+    config: &MultistartSaConfig,
+    control: &RunControl,
+    inject: &F,
+) -> MultistartResult
+where
+    F: Fn(usize) + Sync,
+{
     assert!(config.chains > 0, "multistart_sa needs at least one chain");
     let started = Instant::now();
     let workers = resolve_workers(config.workers).min(config.chains);
     let mut pool = WorkerPool::new(workers);
     let mut caches: Vec<CostCache> = (0..workers).map(|_| CostCache::new(problem)).collect();
     let chain_ids: Vec<usize> = (0..config.chains).collect();
-    let chains = pool.map_scoped(&chain_ids, &mut caches, |cache, &chain| {
-        let cfg = SaConfig {
-            seed: chain_seed(config.base.seed, chain),
-            ..config.base.clone()
-        };
-        simulated_annealing_with_cache(problem, &cfg, None, cache)
-    });
-    let winner = select_winner(problem.circuit(), &chains);
+    let slots = pool.map_scoped_cancellable(
+        &chain_ids,
+        &mut caches,
+        control.cancel_token(),
+        |cache, &chain| {
+            let cfg = SaConfig {
+                seed: chain_seed(config.base.seed, chain),
+                ..config.base.clone()
+            };
+            // Each chain is its own failure domain: catch its panic here (the
+            // pool would otherwise re-raise it after the batch drains) and
+            // rebuild this worker's cache, which the unwind may have left
+            // mid-update.
+            match catch_unwind(AssertUnwindSafe(|| {
+                inject(chain);
+                simulated_annealing_controlled(problem, &cfg, None, cache, control)
+            })) {
+                Ok(result) => ChainOutcome::Finished(result),
+                Err(payload) => {
+                    *cache = CostCache::new(problem);
+                    ChainOutcome::Panicked(panic_payload_message(payload))
+                }
+            }
+        },
+    );
+    let chains: Vec<ChainOutcome> = slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or(ChainOutcome::Skipped))
+        .collect();
+    let winner = select_surviving_winner(problem.circuit(), &chains);
+    let stop = aggregate_stop(&chains);
     MultistartResult {
         chains,
         winner,
         runtime_s: started.elapsed().as_secs_f64(),
+        stop,
     }
 }
 
@@ -168,17 +294,74 @@ pub fn select_winner(circuit: &Circuit, results: &[BaselineResult]) -> usize {
     let mut winner = 0;
     let mut best_key = (false, f64::NEG_INFINITY);
     for (index, result) in results.iter().enumerate() {
-        let feasible = result.floorplan.num_placed() == circuit.num_blocks()
-            && !constraints::has_violations(circuit, &result.floorplan);
-        let key = (feasible, result.reward);
+        let key = winner_key(circuit, result);
         // Strict comparisons throughout: equal keys keep the earlier index.
-        let better = (key.0 && !best_key.0) || (key.0 == best_key.0 && key.1 > best_key.1);
-        if better {
+        if better_key(key, best_key) {
             winner = index;
             best_key = key;
         }
     }
     winner
+}
+
+/// [`select_winner`] over chain outcomes: panicked and skipped slots are
+/// passed over, the reduction runs on the finished results only (same rule:
+/// feasible > reward > lowest index). `None` when nothing finished.
+pub fn select_surviving_winner(circuit: &Circuit, outcomes: &[ChainOutcome]) -> Option<usize> {
+    let mut winner = None;
+    let mut best_key = (false, f64::NEG_INFINITY);
+    for (index, outcome) in outcomes.iter().enumerate() {
+        let Some(result) = outcome.result() else { continue };
+        let key = winner_key(circuit, result);
+        if winner.is_none() || better_key(key, best_key) {
+            winner = Some(index);
+            best_key = key;
+        }
+    }
+    winner
+}
+
+/// The (feasible, reward) ordering key of [`select_winner`].
+fn winner_key(circuit: &Circuit, result: &BaselineResult) -> (bool, f64) {
+    let feasible = result.floorplan.num_placed() == circuit.num_blocks()
+        && !constraints::has_violations(circuit, &result.floorplan);
+    (feasible, result.reward)
+}
+
+/// Strictly-better comparison on [`winner_key`]s (equal keys keep the
+/// incumbent, i.e. the earlier index).
+fn better_key(key: (bool, f64), best: (bool, f64)) -> bool {
+    (key.0 && !best.0) || (key.0 == best.0 && key.1 > best.1)
+}
+
+/// The aggregate stop reason of a chain race, documented on
+/// [`MultistartResult::stop`]: first-feasible beats everything, then the
+/// first chain-reported interrupt in chain order, then `Cancelled` if any
+/// chain was skipped (skips only happen when the token was raised), then
+/// `Completed`. Panicked chains contribute nothing — a panic is an outcome,
+/// not a stop reason.
+fn aggregate_stop(outcomes: &[ChainOutcome]) -> StopReason {
+    let mut reported: Option<StopReason> = None;
+    let mut skipped = false;
+    for outcome in outcomes {
+        match outcome {
+            ChainOutcome::Finished(result) => {
+                if result.stop == StopReason::FirstFeasible {
+                    return StopReason::FirstFeasible;
+                }
+                if result.stop.is_interrupted() && reported.is_none() {
+                    reported = Some(result.stop);
+                }
+            }
+            ChainOutcome::Skipped => skipped = true,
+            ChainOutcome::Panicked(_) => {}
+        }
+    }
+    match reported {
+        Some(reason) => reason,
+        None if skipped => StopReason::Cancelled,
+        None => StopReason::Completed,
+    }
 }
 
 /// A heterogeneous optimizer race: every member runs on the same circuit
@@ -192,6 +375,12 @@ pub fn select_winner(circuit: &Circuit, results: &[BaselineResult]) -> usize {
 /// each, and a nested per-member pool would oversubscribe the machine
 /// without changing any result (worker counts never change results).
 ///
+/// [`Portfolio::run_controlled`] adds the same run-control and
+/// failure-domain semantics as
+/// [`multistart_sa_on_controlled`](crate::multistart_sa_on_controlled):
+/// shared deadline/budget/cancel across members, per-member panic isolation,
+/// and the optional first-feasible race mode.
+///
 /// # Examples
 ///
 /// ```
@@ -202,7 +391,7 @@ pub fn select_winner(circuit: &Circuit, results: &[BaselineResult]) -> usize {
 /// let portfolio = Portfolio::small_race();
 /// let outcome = portfolio.run(&circuit);
 /// assert_eq!(outcome.members.len(), portfolio.members.len());
-/// assert!(outcome.best().reward.is_finite());
+/// assert!(outcome.best().expect("all members finished").reward.is_finite());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Portfolio {
@@ -276,6 +465,20 @@ impl Portfolio {
     ///
     /// Panics if the portfolio has no members.
     pub fn run(&self, circuit: &Circuit) -> PortfolioResult {
+        self.run_controlled(circuit, &RunControl::unbounded())
+    }
+
+    /// [`Portfolio::run`] under a [`RunControl`]: members poll the shared
+    /// control, the pool observes its cancel token before dispatching each
+    /// member (members cancelled before starting come back as
+    /// [`ChainOutcome::Skipped`]), and a panicking member is isolated into
+    /// [`ChainOutcome::Panicked`] instead of unwinding the race. An
+    /// uninterrupted run is bit-identical to [`Portfolio::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the portfolio has no members.
+    pub fn run_controlled(&self, circuit: &Circuit, control: &RunControl) -> PortfolioResult {
         assert!(!self.members.is_empty(), "portfolio needs at least one member");
         let started = Instant::now();
         // Nested pools would oversubscribe: each member already has a
@@ -302,34 +505,57 @@ impl Portfolio {
         // a self-contained optimizer run), so the per-worker state is unit.
         let mut slots = vec![(); workers];
         let indexed: Vec<(usize, Baseline)> = members.into_iter().enumerate().collect();
-        let results = pool.map_scoped(&indexed, &mut slots, |_, (index, member)| {
-            member.run(circuit, chain_seed(self.seed, *index))
-        });
-        let winner = select_winner(circuit, &results);
+        let raw = pool.map_scoped_cancellable(
+            &indexed,
+            &mut slots,
+            control.cancel_token(),
+            |_, (index, member)| {
+                // Same failure-domain rule as multi-start chains; no cache to
+                // rebuild here, members own their whole evaluation stack.
+                match catch_unwind(AssertUnwindSafe(|| {
+                    member.run_controlled(circuit, chain_seed(self.seed, *index), control)
+                })) {
+                    Ok(result) => ChainOutcome::Finished(result),
+                    Err(payload) => ChainOutcome::Panicked(panic_payload_message(payload)),
+                }
+            },
+        );
+        let results: Vec<ChainOutcome> = raw
+            .into_iter()
+            .map(|slot| slot.unwrap_or(ChainOutcome::Skipped))
+            .collect();
+        let winner = select_surviving_winner(circuit, &results);
+        let stop = aggregate_stop(&results);
         PortfolioResult {
             members: results,
             winner,
             runtime_s: started.elapsed().as_secs_f64(),
+            stop,
         }
     }
 }
 
-/// The outcome of a [`Portfolio::run`]: every member's result in member
-/// order plus the winner index under [`select_winner`].
+/// The outcome of a [`Portfolio::run`]: every member's outcome in member
+/// order plus the winner index under [`select_winner`], reduced over the
+/// surviving members.
 #[derive(Debug, Clone)]
 pub struct PortfolioResult {
-    /// Per-member results, indexed like [`Portfolio::members`].
-    pub members: Vec<BaselineResult>,
-    /// Index into [`members`](PortfolioResult::members) of the winner.
-    pub winner: usize,
+    /// Per-member outcomes, indexed like [`Portfolio::members`].
+    pub members: Vec<ChainOutcome>,
+    /// Index into [`members`](PortfolioResult::members) of the winner among
+    /// the finished members; `None` when no member finished.
+    pub winner: Option<usize>,
     /// Wall-clock time of the whole race in seconds.
     pub runtime_s: f64,
+    /// Aggregate stop reason of the race (same rule as
+    /// [`MultistartResult::stop`]).
+    pub stop: StopReason,
 }
 
 impl PortfolioResult {
-    /// The winning member's result.
-    pub fn best(&self) -> &BaselineResult {
-        &self.members[self.winner]
+    /// The winning member's result, if any member finished.
+    pub fn best(&self) -> Option<&BaselineResult> {
+        self.winner.and_then(|w| self.members[w].result())
     }
 }
 
@@ -346,6 +572,15 @@ fn resolve_workers(workers: usize) -> usize {
 mod tests {
     use super::*;
     use afp_circuit::generators;
+    use afp_par::CancelToken;
+
+    use crate::sa::simulated_annealing_with_cache;
+
+    fn finished(result: &MultistartResult, chain: usize) -> &BaselineResult {
+        result.chains[chain]
+            .result()
+            .unwrap_or_else(|| panic!("chain {chain} did not finish"))
+    }
 
     #[test]
     fn chain_seeds_are_distinct_and_stable() {
@@ -370,6 +605,7 @@ mod tests {
             workers: 1,
         };
         let serial = multistart_sa(&circuit, &base_cfg);
+        assert_eq!(serial.stop, StopReason::Completed);
         for workers in [2usize, 3, 4, 8] {
             let parallel = multistart_sa(
                 &circuit,
@@ -379,7 +615,9 @@ mod tests {
                 },
             );
             assert_eq!(parallel.winner, serial.winner, "{workers} workers");
-            for (chain, (p, s)) in parallel.chains.iter().zip(&serial.chains).enumerate() {
+            for chain in 0..base_cfg.chains {
+                let p = finished(&parallel, chain);
+                let s = finished(&serial, chain);
                 assert_eq!(p.reward, s.reward, "chain {chain} at {workers} workers");
                 assert_eq!(p.floorplan, s.floorplan, "chain {chain} at {workers} workers");
                 assert_eq!(p.evaluations, s.evaluations, "chain {chain} at {workers} workers");
@@ -403,7 +641,8 @@ mod tests {
         };
         let result = multistart_sa(&circuit, &cfg);
         let problem = Problem::new(&circuit);
-        for (chain, pooled) in result.chains.iter().enumerate() {
+        for chain in 0..cfg.chains {
+            let pooled = finished(&result, chain);
             let chain_cfg = SaConfig {
                 seed: chain_seed(cfg.base.seed, chain),
                 ..cfg.base.clone()
@@ -428,20 +667,23 @@ mod tests {
             workers: 1,
         };
         let result = multistart_sa_on(&problem, &cfg);
-        let winner = &result.chains[result.winner];
+        let winner_index = result.winner.expect("uncontrolled run always has a winner");
+        let winner = finished(&result, winner_index);
         let winner_feasible = winner.floorplan.num_placed() == circuit.num_blocks()
             && !constraints::has_violations(&circuit, &winner.floorplan);
-        for (index, chain) in result.chains.iter().enumerate() {
-            let feasible = chain.floorplan.num_placed() == circuit.num_blocks()
-                && !constraints::has_violations(&circuit, &chain.floorplan);
-            if feasible && !winner_feasible {
-                panic!("feasible chain {index} lost to an infeasible winner");
-            }
+        for chain in 0..cfg.chains {
+            let candidate = finished(&result, chain);
+            let feasible = candidate.floorplan.num_placed() == circuit.num_blocks()
+                && !constraints::has_violations(&circuit, &candidate.floorplan);
+            assert!(
+                !(feasible && !winner_feasible),
+                "feasible chain {chain} lost to an infeasible winner"
+            );
             if feasible == winner_feasible {
                 assert!(
-                    chain.reward < winner.reward
-                        || (chain.reward == winner.reward && index >= result.winner),
-                    "chain {index} should have beaten the winner"
+                    candidate.reward < winner.reward
+                        || (candidate.reward == winner.reward && chain >= winner_index),
+                    "chain {chain} should have beaten the winner"
                 );
             }
         }
@@ -459,13 +701,175 @@ mod tests {
             workers: 1,
         };
         let result = multistart_sa(&circuit, &cfg);
+        let finished_chains: Vec<BaselineResult> = (0..cfg.chains)
+            .map(|chain| finished(&result, chain).clone())
+            .collect();
         // Duplicate the results: the duplicate of the winner ties it exactly
         // and must lose on index.
-        let mut doubled = result.chains.clone();
-        doubled.extend(result.chains.iter().cloned());
+        let mut doubled = finished_chains.clone();
+        doubled.extend(finished_chains.iter().cloned());
         let winner = select_winner(&circuit, &doubled);
-        assert!(winner < result.chains.len(), "tie must keep the lowest index");
-        assert_eq!(winner, result.winner);
+        assert!(winner < finished_chains.len(), "tie must keep the lowest index");
+        assert_eq!(Some(winner), result.winner);
+    }
+
+    #[test]
+    fn controlled_multistart_with_generous_limits_is_bit_identical() {
+        // An uninterrupted controlled run must replay the uncontrolled one
+        // exactly — the determinism contract of the whole control layer.
+        let circuit = generators::ota5();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 120,
+                seed: 9,
+                ..SaConfig::small()
+            },
+            chains: 3,
+            workers: 2,
+        };
+        let plain = multistart_sa(&circuit, &cfg);
+        let control = RunControl::unbounded()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_budget(u64::MAX);
+        let controlled = multistart_sa_controlled(&circuit, &cfg, &control);
+        assert_eq!(controlled.winner, plain.winner);
+        assert_eq!(controlled.stop, StopReason::Completed);
+        for chain in 0..cfg.chains {
+            assert_eq!(
+                finished(&controlled, chain).reward,
+                finished(&plain, chain).reward,
+                "chain {chain}"
+            );
+            assert_eq!(
+                finished(&controlled, chain).floorplan,
+                finished(&plain, chain).floorplan,
+                "chain {chain}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_multistart_skips_every_chain() {
+        let circuit = generators::ota3();
+        let token = CancelToken::new();
+        token.cancel();
+        let control = RunControl::unbounded().with_cancel_token(token);
+        let result = multistart_sa_controlled(&circuit, &MultistartSaConfig::small(), &control);
+        assert!(result.chains.iter().all(|c| matches!(c, ChainOutcome::Skipped)));
+        assert_eq!(result.winner, None);
+        assert!(result.best().is_none());
+        assert_eq!(result.stop, StopReason::Cancelled);
+    }
+
+    #[test]
+    fn budgeted_multistart_chains_stop_at_the_budget_and_still_pick_a_winner() {
+        let circuit = generators::ota5();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 400,
+                ..SaConfig::small()
+            },
+            chains: 3,
+            workers: 2,
+        };
+        let control = RunControl::unbounded().with_budget(40);
+        let result = multistart_sa_controlled(&circuit, &cfg, &control);
+        assert_eq!(result.stop, StopReason::Budget);
+        for chain in 0..cfg.chains {
+            let r = finished(&result, chain);
+            assert_eq!(r.evaluations, 40, "chain {chain} overshot its budget");
+            assert_eq!(r.stop, StopReason::Budget);
+        }
+        assert!(result.best().is_some());
+    }
+
+    #[test]
+    fn first_feasible_race_returns_a_feasible_winner_and_cancels_the_rest() {
+        // ota3 at unit-test scale reaches feasibility quickly, so the race
+        // must end with a feasible winner and the FirstFeasible stop. With
+        // workers: 1 the chains run in order, so the outcome is fully
+        // deterministic: chain 0 wins, later chains are cancelled or skipped.
+        let circuit = generators::ota3();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 4000,
+                ..SaConfig::small()
+            },
+            chains: 3,
+            workers: 1,
+        };
+        let control = RunControl::unbounded().with_stop_on_first_feasible(true);
+        let result = multistart_sa_controlled(&circuit, &cfg, &control);
+        assert_eq!(result.stop, StopReason::FirstFeasible);
+        let best = result.best().expect("race must produce a winner");
+        assert_eq!(best.floorplan.num_placed(), circuit.num_blocks());
+        assert!(!constraints::has_violations(&circuit, &best.floorplan));
+        // Race mode is an explicit opt-in: the shared token is raised, so
+        // the chains after the winner never ran to completion.
+        assert!(control.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn surviving_winner_skips_panicked_and_skipped_slots() {
+        let circuit = generators::ota3();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 60,
+                ..SaConfig::small()
+            },
+            chains: 2,
+            workers: 1,
+        };
+        let result = multistart_sa(&circuit, &cfg);
+        let real = finished(&result, 0).clone();
+        let outcomes = vec![
+            ChainOutcome::Panicked("boom".to_string()),
+            ChainOutcome::Skipped,
+            ChainOutcome::Finished(real.clone()),
+            ChainOutcome::Finished(real),
+        ];
+        // Slot 2 and 3 tie exactly; panicked/skipped slots before them must
+        // not shift the index rule.
+        assert_eq!(select_surviving_winner(&circuit, &outcomes), Some(2));
+        let nobody = vec![
+            ChainOutcome::Panicked("boom".to_string()),
+            ChainOutcome::Skipped,
+        ];
+        assert_eq!(select_surviving_winner(&circuit, &nobody), None);
+    }
+
+    #[test]
+    fn aggregate_stop_orders_first_feasible_over_interrupts_over_skips() {
+        let circuit = generators::ota3();
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 40,
+                ..SaConfig::small()
+            },
+            chains: 1,
+            workers: 1,
+        };
+        let done = finished(&multistart_sa(&circuit, &cfg), 0).clone();
+        let feasible_stop = ChainOutcome::Finished(done.clone().with_stop(StopReason::FirstFeasible));
+        let cancelled = ChainOutcome::Finished(done.clone().with_stop(StopReason::Cancelled));
+        let completed = ChainOutcome::Finished(done);
+        assert_eq!(
+            aggregate_stop(&[cancelled.clone(), feasible_stop]),
+            StopReason::FirstFeasible
+        );
+        assert_eq!(
+            aggregate_stop(&[completed.clone(), cancelled]),
+            StopReason::Cancelled
+        );
+        assert_eq!(
+            aggregate_stop(&[completed.clone(), ChainOutcome::Skipped]),
+            StopReason::Cancelled
+        );
+        assert_eq!(
+            aggregate_stop(&[completed.clone(), ChainOutcome::Panicked("x".into())]),
+            StopReason::Completed
+        );
+        assert_eq!(aggregate_stop(&[completed]), StopReason::Completed);
     }
 
     #[test]
@@ -481,6 +885,8 @@ mod tests {
             let parallel = race.run(&circuit);
             assert_eq!(parallel.winner, serial.winner, "{workers} workers");
             for (index, (p, s)) in parallel.members.iter().zip(&serial.members).enumerate() {
+                let p = p.result().expect("member finished");
+                let s = s.result().expect("member finished");
                 assert_eq!(p.reward, s.reward, "member {index} at {workers} workers");
                 assert_eq!(p.floorplan, s.floorplan, "member {index} at {workers} workers");
             }
@@ -492,13 +898,30 @@ mod tests {
         let circuit = generators::ota3();
         let portfolio = Portfolio::small_race();
         let outcome = portfolio.run(&circuit);
-        let names: Vec<&str> = outcome.members.iter().map(|m| m.algorithm.as_str()).collect();
+        let names: Vec<&str> = outcome
+            .members
+            .iter()
+            .map(|m| m.result().expect("member finished").algorithm.as_str())
+            .collect();
         assert_eq!(names, vec!["SA", "SA", "SA", "GA", "PSO"]);
-        assert!(outcome.winner < outcome.members.len());
+        assert_eq!(outcome.stop, StopReason::Completed);
+        let best = outcome.best().expect("portfolio has a winner");
         assert_eq!(
-            outcome.best().floorplan.num_placed(),
+            best.floorplan.num_placed(),
             circuit.num_blocks(),
             "portfolio winner left blocks unplaced"
         );
+    }
+
+    #[test]
+    fn pre_cancelled_portfolio_skips_every_member() {
+        let circuit = generators::ota3();
+        let token = CancelToken::new();
+        token.cancel();
+        let control = RunControl::unbounded().with_cancel_token(token);
+        let outcome = Portfolio::small_race().run_controlled(&circuit, &control);
+        assert!(outcome.members.iter().all(|m| matches!(m, ChainOutcome::Skipped)));
+        assert_eq!(outcome.winner, None);
+        assert_eq!(outcome.stop, StopReason::Cancelled);
     }
 }

@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, EvalPool, Problem};
+use crate::common::{
+    candidate_is_feasible, BaselineResult, Candidate, EvalPool, Problem, RunControl, StopReason,
+};
 
 /// PSO configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,12 +101,27 @@ fn decode(position: &[f64], num_blocks: usize) -> Candidate {
 
 fn argsort(keys: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..keys.len()).collect();
-    order.sort_by(|&a, &b| keys[a].partial_cmp(&keys[b]).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp`: a NaN key sorts to a stable position instead of making
+    // the comparator lie about equality and scrambling the permutation.
+    order.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]));
     order
 }
 
 /// Runs particle swarm optimization on a circuit.
 pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
+    particle_swarm_controlled(circuit, config, &RunControl::unbounded())
+}
+
+/// [`particle_swarm`] under a [`RunControl`]: polled once per iteration
+/// (each iteration is already `particles` evaluations wide, so no stride
+/// gating is needed). An interrupted run returns the swarm's global best so
+/// far with the interrupting [`StopReason`]; polling draws nothing from the
+/// RNG, so an uninterrupted run is bit-identical to an uncontrolled one.
+pub fn particle_swarm_controlled(
+    circuit: &Circuit,
+    config: &PsoConfig,
+    control: &RunControl,
+) -> BaselineResult {
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -128,6 +145,7 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
     let mut global_best_position = particles[0].position.clone();
     let mut global_best_cost = f64::MAX;
     let mut evaluations = 0;
+    let mut stop = StopReason::Completed;
     let mut swarm: Vec<Candidate> = Vec::with_capacity(config.particles);
 
     for _ in 0..config.iterations {
@@ -138,6 +156,10 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
         swarm.clear();
         swarm.extend(particles.iter().map(|p| decode(&p.position, n)));
         let costs = pool.evaluate(&problem, &swarm);
+        debug_assert!(
+            costs.iter().all(|c| c.is_finite()),
+            "non-finite particle cost would scramble best tracking"
+        );
         evaluations += costs.len();
         for (p, &cost) in particles.iter_mut().zip(&costs) {
             if cost < p.best_cost {
@@ -148,6 +170,19 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
                 global_best_cost = cost;
                 global_best_position = p.position.clone();
             }
+        }
+        // Control poll at the iteration boundary, after the global best has
+        // settled and before the next velocity update draws from the RNG.
+        if let Some(reason) = control.poll_now(evaluations as u64) {
+            stop = reason;
+            break;
+        }
+        if control.stop_on_first_feasible()
+            && candidate_is_feasible(&problem, &decode(&global_best_position, n))
+        {
+            control.cancel();
+            stop = StopReason::FirstFeasible;
+            break;
         }
         for p in &mut particles {
             for d in 0..dim {
@@ -162,7 +197,7 @@ pub fn particle_swarm(circuit: &Circuit, config: &PsoConfig) -> BaselineResult {
     }
 
     let best = decode(&global_best_position, n);
-    BaselineResult::from_candidate("PSO", &problem, &best, started, evaluations)
+    BaselineResult::from_candidate("PSO", &problem, &best, started, evaluations).with_stop(stop)
 }
 
 #[cfg(test)]

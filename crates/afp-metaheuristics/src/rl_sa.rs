@@ -10,9 +10,9 @@ use std::time::Instant;
 
 use afp_circuit::Circuit;
 
-use crate::common::{BaselineResult, Problem};
-use crate::sa::{simulated_annealing_on, SaConfig};
-use crate::sp_rl::{sequence_pair_rl_on, SpRlConfig};
+use crate::common::{BaselineResult, CostCache, Problem, RunControl};
+use crate::sa::{simulated_annealing_controlled, SaConfig};
+use crate::sp_rl::{sequence_pair_rl_on_controlled, SpRlConfig};
 
 /// Configuration of the RL-SA hybrid.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,11 +60,49 @@ impl Default for RlSaConfig {
 
 /// Runs the RL-SA hybrid on a circuit.
 pub fn rl_sa(circuit: &Circuit, config: &RlSaConfig) -> BaselineResult {
+    rl_sa_controlled(circuit, config, &RunControl::unbounded())
+}
+
+/// [`rl_sa`] under a [`RunControl`].
+///
+/// The deadline and the cancel token are global — either stage observes them
+/// and stops. The *evaluation budget*, however, applies per optimizer stage:
+/// each stage polls with its own evaluation counter, so a budget of `b`
+/// allows up to `b` warm-up evaluations and then up to `b` refinement
+/// evaluations. (Threading one shared counter through would change no
+/// uninterrupted trajectory but would complicate the per-stage entry points
+/// for little gain; callers wanting a global cap can budget the stages via
+/// their configs.) If the warm-up is interrupted its best candidate is
+/// returned directly — refinement never starts on a deadline already missed.
+pub fn rl_sa_controlled(
+    circuit: &Circuit,
+    config: &RlSaConfig,
+    control: &RunControl,
+) -> BaselineResult {
     let problem = Problem::new(circuit);
     let started = Instant::now();
-    let (warmup_result, warm_candidate) = sequence_pair_rl_on(&problem, &config.warmup);
-    let refined = simulated_annealing_on(&problem, &config.refinement, Some(warm_candidate));
+    let (warmup_result, warm_candidate) =
+        sequence_pair_rl_on_controlled(&problem, &config.warmup, control);
+    if warmup_result.stop.is_interrupted() {
+        return BaselineResult {
+            algorithm: "RL-SA".to_string(),
+            runtime_s: started.elapsed().as_secs_f64(),
+            ..warmup_result
+        };
+    }
+    let mut cache = CostCache::new(&problem);
+    let refined = simulated_annealing_controlled(
+        &problem,
+        &config.refinement,
+        Some(warm_candidate),
+        &mut cache,
+        control,
+    );
     let evaluations = warmup_result.evaluations + refined.evaluations;
+    // The refinement stage is the one the control interrupted (or completed);
+    // its stop reason describes the hybrid run regardless of which stage's
+    // candidate wins below.
+    let stop = refined.stop;
     // Keep the better of the two stages (SA should rarely lose, but the warm
     // start is never discarded if refinement regresses).
     let best = if refined.reward >= warmup_result.reward {
@@ -76,6 +114,7 @@ pub fn rl_sa(circuit: &Circuit, config: &RlSaConfig) -> BaselineResult {
         algorithm: "RL-SA".to_string(),
         runtime_s: started.elapsed().as_secs_f64(),
         evaluations,
+        stop,
         ..best
     }
 }

@@ -9,7 +9,10 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::Circuit;
 
-use crate::common::{BaselineResult, Candidate, CostCache, MoveMix, Problem};
+use crate::common::{
+    candidate_is_feasible, BaselineResult, Candidate, CostCache, MoveMix, Problem, RunControl,
+    StopReason,
+};
 
 /// Simulated-annealing configuration.
 ///
@@ -132,6 +135,29 @@ pub fn simulated_annealing_with_cache(
     initial: Option<Candidate>,
     cache: &mut CostCache,
 ) -> BaselineResult {
+    simulated_annealing_controlled(problem, config, initial, cache, &RunControl::unbounded())
+}
+
+/// [`simulated_annealing_with_cache`] under a [`RunControl`]: the full SA
+/// loop with a deadline / budget / cancellation poll per move.
+///
+/// The control is polled with the move counter as the tick: the evaluation
+/// budget is compared exactly on every move (a budget stop always lands on
+/// the same evaluation count), while the wall clock, the cancel token and —
+/// when [`RunControl::stop_on_first_feasible`] is on — the feasibility of
+/// the incumbent best are only checked every [`RunControl::stride`] moves.
+/// Polling draws nothing from the RNG, so a run the control never interrupts
+/// is bit-identical to [`simulated_annealing_with_cache`] without one. An
+/// interrupted run returns the best candidate found so far with the
+/// interrupting [`StopReason`] in [`BaselineResult::stop`]; a first-feasible
+/// stop additionally raises the shared cancel token so sibling racers stop.
+pub fn simulated_annealing_controlled(
+    problem: &Problem,
+    config: &SaConfig,
+    initial: Option<Candidate>,
+    cache: &mut CostCache,
+    control: &RunControl,
+) -> BaselineResult {
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mix = MoveMix::local(config.locality_bias);
@@ -142,6 +168,20 @@ pub fn simulated_annealing_with_cache(
     let mut best_cost = current_cost;
     let mut temperature = config.initial_temperature;
     let mut evaluations = 1;
+    let mut stop = StopReason::Completed;
+
+    // Entry poll (tick 0): a pre-raised token, an expired deadline, an
+    // already-exhausted budget — or a warm start that is already feasible
+    // under a first-feasible race — stops before the first move.
+    if let Some(reason) = control.poll(0, evaluations as u64) {
+        return BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
+            .with_stop(reason);
+    }
+    if control.stop_on_first_feasible() && candidate_is_feasible(problem, &best) {
+        control.cancel();
+        return BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
+            .with_stop(StopReason::FirstFeasible);
+    }
 
     // Restart boundaries split the budget into `restarts + 1` equal segments
     // (integer division leaves the remainder to the last segment). The check
@@ -182,8 +222,24 @@ pub fn simulated_annealing_with_cache(
             temperature = temperature.max(config.initial_temperature * config.reheat_factor);
             next_boundary += 1;
         }
+        // Control poll, after the move has fully settled: nothing here
+        // touches the RNG, so an uninterrupted run replays the historical
+        // stream bit-for-bit.
+        let tick = (step + 1) as u64;
+        if let Some(reason) = control.poll(tick, evaluations as u64) {
+            stop = reason;
+            break;
+        }
+        if control.stop_on_first_feasible()
+            && tick % control.stride() == 0
+            && candidate_is_feasible(problem, &best)
+        {
+            control.cancel();
+            stop = StopReason::FirstFeasible;
+            break;
+        }
     }
-    BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
+    BaselineResult::from_candidate("SA", problem, &best, started, evaluations).with_stop(stop)
 }
 
 #[cfg(test)]
@@ -334,6 +390,112 @@ mod tests {
         let base = simulated_annealing(&circuit, &plain);
         assert_eq!(a.evaluations, base.evaluations, "restarts must not change the budget");
         assert_eq!(a.floorplan.num_placed(), circuit.num_blocks());
+    }
+
+    #[test]
+    fn generous_control_is_bit_identical_to_no_control() {
+        // The tentpole determinism contract at unit scale: deadline an hour
+        // out, budget far above the move count, non-default stride — the
+        // control must never influence the trajectory.
+        let circuit = generators::ota8();
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 300,
+            seed: 77,
+            ..SaConfig::table1()
+        };
+        let mut plain_cache = CostCache::new(&problem);
+        let plain = simulated_annealing_with_cache(&problem, &cfg, None, &mut plain_cache);
+        let control = RunControl::unbounded()
+            .with_deadline(std::time::Duration::from_secs(3600))
+            .with_budget(1_000_000)
+            .with_stride(16);
+        let mut cache = CostCache::new(&problem);
+        let controlled =
+            simulated_annealing_controlled(&problem, &cfg, None, &mut cache, &control);
+        assert_eq!(controlled.reward, plain.reward);
+        assert_eq!(controlled.evaluations, plain.evaluations);
+        assert_eq!(controlled.floorplan, plain.floorplan);
+        assert_eq!(controlled.stop, StopReason::Completed);
+        assert_eq!(plain.stop, StopReason::Completed);
+    }
+
+    #[test]
+    fn budget_stops_at_the_exact_evaluation_count() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 400,
+            ..SaConfig::small()
+        };
+        let control = RunControl::unbounded().with_budget(57);
+        let mut cache = CostCache::new(&problem);
+        let result = simulated_annealing_controlled(&problem, &cfg, None, &mut cache, &control);
+        assert_eq!(result.stop, StopReason::Budget);
+        assert_eq!(result.evaluations, 57, "budget stops are exact");
+        assert_eq!(result.floorplan.num_placed(), circuit.num_blocks());
+        assert!(result.reward.is_finite(), "best-so-far must be a real result");
+    }
+
+    #[test]
+    fn expired_deadline_returns_best_so_far_within_a_stride() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 10_000,
+            ..SaConfig::small()
+        };
+        let control = RunControl::unbounded()
+            .with_deadline(std::time::Duration::from_secs(0))
+            .with_stride(32);
+        let mut cache = CostCache::new(&problem);
+        let result = simulated_annealing_controlled(&problem, &cfg, None, &mut cache, &control);
+        assert_eq!(result.stop, StopReason::Deadline);
+        // The entry poll fires at tick 0, before any move.
+        assert_eq!(result.evaluations, 1);
+        assert_eq!(result.floorplan.num_placed(), circuit.num_blocks());
+    }
+
+    #[test]
+    fn cancellation_stops_the_walk_and_is_recorded() {
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 5_000,
+            ..SaConfig::small()
+        };
+        let control = RunControl::unbounded().with_stride(8);
+        control.cancel();
+        let mut cache = CostCache::new(&problem);
+        let result = simulated_annealing_controlled(&problem, &cfg, None, &mut cache, &control);
+        assert_eq!(result.stop, StopReason::Cancelled);
+        assert_eq!(result.evaluations, 1, "pre-cancelled runs stop at entry");
+    }
+
+    #[test]
+    fn budgeted_prefix_matches_the_unbounded_runs_prefix() {
+        // An interrupted run is the *prefix* of the uncontrolled run: same
+        // seed, fewer moves. Re-running with iterations = budget - 1 (the
+        // initial evaluation consumes one) must land on the same best.
+        let circuit = generators::ota8();
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 400,
+            seed: 5,
+            ..SaConfig::small()
+        };
+        let control = RunControl::unbounded().with_budget(101);
+        let mut cache = CostCache::new(&problem);
+        let budgeted = simulated_annealing_controlled(&problem, &cfg, None, &mut cache, &control);
+        assert_eq!(budgeted.stop, StopReason::Budget);
+        assert_eq!(budgeted.evaluations, 101);
+        let truncated_cfg = SaConfig {
+            iterations: 100,
+            ..cfg
+        };
+        let truncated = simulated_annealing(&circuit, &truncated_cfg);
+        assert_eq!(budgeted.reward, truncated.reward);
+        assert_eq!(budgeted.floorplan, truncated.floorplan);
     }
 
     #[test]

@@ -20,7 +20,9 @@ use rand::{Rng, SeedableRng};
 
 use afp_circuit::{Circuit, SHAPES_PER_BLOCK};
 
-use crate::common::{BaselineResult, Candidate, EvalPool, Problem};
+use crate::common::{
+    candidate_is_feasible, BaselineResult, Candidate, EvalPool, Problem, RunControl, StopReason,
+};
 
 /// Number of move types the policy chooses between.
 const NUM_MOVES: usize = 4;
@@ -130,6 +132,19 @@ pub fn sequence_pair_rl(circuit: &Circuit, config: &SpRlConfig) -> BaselineResul
 /// Runs the baseline on an existing problem, returning both the result and the
 /// best candidate found (used by the RL-SA hybrid to seed its SA stage).
 pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineResult, Candidate) {
+    sequence_pair_rl_on_controlled(problem, config, &RunControl::unbounded())
+}
+
+/// [`sequence_pair_rl_on`] under a [`RunControl`]: polled once per episode
+/// (episodes are tens of evaluations wide, so no stride gating is needed).
+/// An interrupted run returns the best candidate seen so far with the
+/// interrupting [`StopReason`]; polling draws nothing from the RNG, so an
+/// uninterrupted controlled run is bit-identical to an uncontrolled one.
+pub fn sequence_pair_rl_on_controlled(
+    problem: &Problem,
+    config: &SpRlConfig,
+    control: &RunControl,
+) -> (BaselineResult, Candidate) {
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = problem.num_blocks();
@@ -146,6 +161,13 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
     let mut best_cost = pool.evaluate_one(problem, &best);
     let mut evaluations = 1;
     let mut baseline_return = 0.0f64;
+    let mut stop = StopReason::Completed;
+
+    if let Some(reason) = episode_stop(problem, control, &best, evaluations) {
+        let result = BaselineResult::from_candidate("RL (SP)", problem, &best, started, evaluations)
+            .with_stop(reason);
+        return (result, best);
+    }
 
     for episode in 0..config.episodes {
         let mut candidate = if episode % 4 == 0 {
@@ -180,10 +202,35 @@ pub fn sequence_pair_rl_on(problem: &Problem, config: &SpRlConfig) -> (BaselineR
                 *logit += config.learning_rate * advantage * (indicator - probs[k]);
             }
         }
+        // Control poll at the episode boundary, after the policy update and
+        // before the next episode samples from the RNG.
+        if let Some(reason) = episode_stop(problem, control, &best, evaluations) {
+            stop = reason;
+            break;
+        }
     }
 
-    let result = BaselineResult::from_candidate("RL (SP)", problem, &best, started, evaluations);
+    let result = BaselineResult::from_candidate("RL (SP)", problem, &best, started, evaluations)
+        .with_stop(stop);
     (result, best)
+}
+
+/// The per-episode control check: budget/cancel/deadline first, then the
+/// first-feasible race predicate on the best candidate so far.
+fn episode_stop(
+    problem: &Problem,
+    control: &RunControl,
+    best: &Candidate,
+    evaluations: usize,
+) -> Option<StopReason> {
+    if let Some(reason) = control.poll_now(evaluations as u64) {
+        return Some(reason);
+    }
+    if control.stop_on_first_feasible() && candidate_is_feasible(problem, best) {
+        control.cancel();
+        return Some(StopReason::FirstFeasible);
+    }
+    None
 }
 
 #[cfg(test)]

@@ -1,0 +1,150 @@
+//! Deterministic fault injection for pool and race tests (behind the
+//! `fault-inject` feature).
+//!
+//! A [`FaultPlan`] is a pure function from a job index to a
+//! [`FaultAction`], derived with a splitmix64 finalizer from a seed and two
+//! percentage knobs — no global state, no RNG object, no ordering
+//! sensitivity. Test closures consult the plan for the job they are about to
+//! run and [`inject`](FaultPlan::inject) the action: a panic with a
+//! recognizable message, a short bounded stall, or nothing. Because the plan
+//! is pure, the *same* jobs fault at every worker count, which is what lets
+//! the fault proptests assert that a multistart winner over surviving chains
+//! is bit-identical at workers ∈ {1, 2, 4}.
+//!
+//! Nothing in this module is wired into production code paths: the feature
+//! only adds the plan type and the injected test entry points that take one.
+
+use std::time::Duration;
+
+/// What a [`FaultPlan`] prescribes for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Run the job normally.
+    None,
+    /// Panic with a recognizable `"injected fault"` message.
+    Panic,
+    /// Sleep for the bounded duration before running the job (models a slow
+    /// or wedged worker without breaking determinism of results).
+    Stall(Duration),
+}
+
+/// A deterministic map from job index to [`FaultAction`].
+///
+/// # Examples
+///
+/// ```
+/// use afp_par::fault::{FaultAction, FaultPlan};
+///
+/// let plan = FaultPlan::new(42, 25, 10); // 25 % panic, 10 % stall
+/// // Pure: the same job always gets the same action.
+/// assert_eq!(plan.action(7), plan.action(7));
+/// let panics = (0..100).filter(|&j| plan.action(j) == FaultAction::Panic).count();
+/// assert!(panics > 0, "a 25 % rate over 100 jobs injects at least one panic");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    panic_percent: u8,
+    stall_percent: u8,
+}
+
+/// The splitmix64 finalizer: the same mixer `chain_seed` uses upstream, so
+/// fault rolls are well-distributed for consecutive job indices.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// Builds a plan: `panic_percent` of jobs panic, `stall_percent` stall,
+    /// the rest run clean. Percentages are clamped so their sum stays ≤ 100.
+    pub fn new(seed: u64, panic_percent: u8, stall_percent: u8) -> Self {
+        let panic_percent = panic_percent.min(100);
+        let stall_percent = stall_percent.min(100 - panic_percent);
+        FaultPlan {
+            seed,
+            panic_percent,
+            stall_percent,
+        }
+    }
+
+    /// The action prescribed for job `job`. Pure and deterministic.
+    pub fn action(&self, job: u64) -> FaultAction {
+        let h = splitmix64(self.seed ^ job.wrapping_mul(0xD134_2543_DE82_EF95));
+        let roll = (h % 100) as u8;
+        if roll < self.panic_percent {
+            FaultAction::Panic
+        } else if roll < self.panic_percent + self.stall_percent {
+            // 100–600 µs: long enough to hold a worker mid-chunk while
+            // siblings finish, short enough for 200-case proptests.
+            FaultAction::Stall(Duration::from_micros(100 + (h >> 8) % 500))
+        } else {
+            FaultAction::None
+        }
+    }
+
+    /// Whether job `job` is planned to panic.
+    pub fn panics(&self, job: u64) -> bool {
+        self.action(job) == FaultAction::Panic
+    }
+
+    /// Executes the plan for job `job`: panics with an `"injected fault"`
+    /// message, sleeps out the stall, or returns immediately.
+    pub fn inject(&self, job: u64) {
+        match self.action(job) {
+            FaultAction::None => {}
+            FaultAction::Panic => {
+                panic!("injected fault: job {job} (plan seed {})", self.seed)
+            }
+            FaultAction::Stall(pause) => std::thread::sleep(pause),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_seed_and_job() {
+        let a = FaultPlan::new(7, 30, 20);
+        let b = FaultPlan::new(7, 30, 20);
+        for job in 0..256 {
+            assert_eq!(a.action(job), b.action(job));
+        }
+        let other = FaultPlan::new(8, 30, 20);
+        assert!(
+            (0..256).any(|j| a.action(j) != other.action(j)),
+            "different seeds should produce different plans"
+        );
+    }
+
+    #[test]
+    fn rates_clamp_to_a_hundred_percent() {
+        let plan = FaultPlan::new(0, 80, 80);
+        // 80 % panic leaves at most 20 % stall; every roll lands somewhere.
+        for job in 0..100 {
+            let _ = plan.action(job);
+        }
+        let all_panic = FaultPlan::new(0, 200, 50);
+        assert!((0..50).all(|j| all_panic.panics(j)));
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(123, 0, 0);
+        for job in 0..512 {
+            assert_eq!(plan.action(job), FaultAction::None);
+            plan.inject(job); // must not panic or sleep
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn inject_panics_with_a_recognizable_message() {
+        let plan = FaultPlan::new(1, 100, 0);
+        plan.inject(0);
+    }
+}

@@ -24,12 +24,25 @@
 //! compatibility shim that builds a transient pool per call — same results,
 //! spawn-per-call cost — and [`parallel_map`] (by-value, no worker state)
 //! keeps its original scoped-spawn implementation.
+//!
+//! The [`control`] module is the workspace's run-control vocabulary:
+//! [`CancelToken`] (a clonable atomic flag the pool observes at chunk-claim
+//! boundaries via [`WorkerPool::map_scoped_cancellable`]), [`RunControl`]
+//! (deadline / budget / cancellation handle the optimizer loops poll at a
+//! deterministic stride) and [`StopReason`] (the typed outcome recorded in
+//! results). The `fault-inject` feature adds the `fault` module — a
+//! deterministic splitmix64-seeded fault plan the robustness proptests use
+//! to make the Nth job panic or stall.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod control;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod pool;
 
+pub use control::{CancelToken, RunControl, StopReason};
 pub use pool::{PoolStats, WorkerPool};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

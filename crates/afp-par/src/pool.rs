@@ -42,6 +42,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle, Thread};
 
+use crate::control::CancelToken;
+
 /// A persistent pool of parked worker threads servicing
 /// [`map_scoped`](WorkerPool::map_scoped) batches.
 ///
@@ -156,6 +158,12 @@ struct Context<T, R, S, F> {
     next_chunk: AtomicUsize,
     chunk: usize,
     num_chunks: usize,
+    /// Optional cancellation flag (null = none): checked with a relaxed load
+    /// at every chunk-claim boundary, so a cancelled batch stops claiming new
+    /// chunks while in-flight chunks drain to completion. Points at the
+    /// caller's [`CancelToken`] flag, which outlives the batch because the
+    /// dispatcher blocks until `remaining` drains.
+    cancel: *const AtomicBool,
 }
 
 /// The monomorphic trampoline: claims chunks off the shared counter and
@@ -175,6 +183,12 @@ where
     let state = &mut *ctx.states.add(worker);
     let f = &*ctx.f;
     loop {
+        // Chunk-claim boundary: a raised cancel flag stops this worker from
+        // claiming further chunks (the chunk being executed always runs to
+        // completion — results are all-or-nothing per item, never torn).
+        if !ctx.cancel.is_null() && (*ctx.cancel).load(Ordering::Relaxed) {
+            break;
+        }
         let c = ctx.next_chunk.fetch_add(1, Ordering::Relaxed);
         if c >= ctx.num_chunks {
             break;
@@ -304,6 +318,61 @@ impl WorkerPool {
         S: Send,
         F: Fn(&mut S, &T) -> R + Sync,
     {
+        self.dispatch(items, states, None, f)
+            .into_iter()
+            .map(|r| r.expect("every item processed"))
+            .collect()
+    }
+
+    /// [`map_scoped`](WorkerPool::map_scoped) with cooperative cancellation:
+    /// once `cancel` is raised (by any clone of the token — a worker closure,
+    /// another thread, a deadline watcher), workers stop claiming new chunks
+    /// at the next chunk-claim boundary and the batch drains promptly.
+    ///
+    /// Returns one slot per item in input order: `Some(result)` for items
+    /// whose chunk ran, `None` for items never claimed. An item's result is
+    /// all-or-nothing — a chunk in flight when the flag rises still runs to
+    /// completion, so every `Some` is a fully computed result and a re-run of
+    /// the same item would be bit-identical. With the token never cancelled
+    /// the call is equivalent to `map_scoped` (every slot is `Some`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty; propagates panics from worker closures
+    /// (the batch still drains first, so the pool stays usable).
+    pub fn map_scoped_cancellable<T, R, S, F>(
+        &mut self,
+        items: &[T],
+        states: &mut [S],
+        cancel: &CancelToken,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        self.dispatch(items, states, Some(cancel), f)
+    }
+
+    /// The shared batch engine behind [`map_scoped`](WorkerPool::map_scoped)
+    /// and [`map_scoped_cancellable`](WorkerPool::map_scoped_cancellable):
+    /// identical scheduling (chunking, clamping, inline path) with an
+    /// optional cancel flag observed at chunk-claim boundaries.
+    fn dispatch<T, R, S, F>(
+        &mut self,
+        items: &[T],
+        states: &mut [S],
+        cancel: Option<&CancelToken>,
+        f: F,
+    ) -> Vec<Option<R>>
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
         assert!(
             !states.is_empty(),
             "map_scoped needs at least one worker state"
@@ -321,7 +390,25 @@ impl WorkerPool {
         if workers == 1 {
             self.stats.inline_batches += 1;
             let state = &mut states[0];
-            return items.iter().map(|item| f(state, item)).collect();
+            return match cancel {
+                // No flag: byte-for-byte the historical serial loop.
+                None => items.iter().map(|item| Some(f(state, item))).collect(),
+                // Flag: per-item check (the inline analogue of a chunk-claim
+                // boundary); remaining items come back `None`.
+                Some(token) => {
+                    let flag = token.flag();
+                    items
+                        .iter()
+                        .map(|item| {
+                            if flag.load(Ordering::Relaxed) {
+                                None
+                            } else {
+                                Some(f(state, item))
+                            }
+                        })
+                        .collect()
+                }
+            };
         }
 
         let chunk = (n / (workers * 4)).max(1);
@@ -336,6 +423,7 @@ impl WorkerPool {
             next_chunk: AtomicUsize::new(0),
             chunk,
             num_chunks,
+            cancel: cancel.map_or(std::ptr::null(), |token| token.flag() as *const AtomicBool),
         };
         let ctx_ptr = &ctx as *const Context<T, R, S, F> as *const ();
 
@@ -381,9 +469,6 @@ impl WorkerPool {
             resume_unwind(payload);
         }
         results
-            .into_iter()
-            .map(|r| r.expect("every item processed"))
-            .collect()
     }
 }
 
@@ -555,5 +640,145 @@ mod tests {
         let mut pool = WorkerPool::new(2);
         let _ = pool.map_scoped(&[1u8, 2, 3], &mut [(), ()], |_, &x| x);
         drop(pool);
+    }
+
+    #[test]
+    fn repeated_panics_across_successive_batches_keep_the_pool_usable() {
+        // Panic recovery beyond one shot: five consecutive batches each blow
+        // up at a different item, and after every one the pool must still
+        // dispatch, drain and count correctly.
+        let mut pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..64).collect();
+        let mut states = vec![(); 4];
+        for round in 0..5u64 {
+            let bomb = round * 11 + 3;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = pool.map_scoped(&items, &mut states, |_, &x| {
+                    assert!(x != bomb, "boom at {bomb}");
+                    x
+                });
+            }));
+            assert!(outcome.is_err(), "round {round} must propagate its panic");
+        }
+        let out = pool.map_scoped(&items, &mut states, |_, &x| x + 1);
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        // Counters balance: every batch ran to a drain, none was lost.
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 6);
+        assert_eq!(stats.inline_batches + stats.parked_dispatches, stats.batches);
+    }
+
+    #[test]
+    fn panic_in_worker_zero_is_deferred_until_the_batch_drains() {
+        // Worker 0 is the dispatching thread: its panic must not unwind past
+        // the stack context while spawned workers may still touch it. States
+        // are per-worker, so marking slot 0 targets the caller exactly.
+        let mut pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..64).collect();
+        let mut states: Vec<usize> = (0..4).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.map_scoped(&items, &mut states, |slot, &x| {
+                assert!(*slot != 0, "caller-slot boom");
+                x
+            });
+        }));
+        assert!(outcome.is_err(), "worker 0's panic must propagate");
+        let mut states = vec![(); 4];
+        let out = pool.map_scoped(&items, &mut states, |_, &x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(pool.stats().batches, 2);
+    }
+
+    #[test]
+    fn panic_while_other_workers_are_mid_chunk_still_drains() {
+        // One item panics while every other item stalls briefly, so sibling
+        // workers are guaranteed to be mid-chunk when the panic lands. The
+        // dispatcher must still wait for the full drain before re-raising —
+        // anything else would leave workers reading a dead stack frame.
+        let mut pool = WorkerPool::new(4);
+        let items: Vec<u64> = (0..32).collect();
+        let mut states = vec![(); 4];
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let _ = pool.map_scoped(&items, &mut states, |_, &x| {
+                if x == 5 {
+                    panic!("mid-chunk boom");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                x
+            });
+        }));
+        assert!(outcome.is_err());
+        let out = pool.map_scoped(&items, &mut states, |_, &x| x + 7);
+        assert_eq!(out, (7..39).collect::<Vec<_>>());
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.inline_batches + stats.parked_dispatches, stats.batches);
+    }
+
+    #[test]
+    fn uncancelled_token_matches_map_scoped_exactly() {
+        let items: Vec<u64> = (0..257).collect();
+        let token = CancelToken::new();
+        for workers in [1usize, 2, 4] {
+            let mut pool = WorkerPool::new(workers);
+            let mut states = vec![(); workers];
+            let plain = pool.map_scoped(&items, &mut states, |_, &x| x.wrapping_mul(3));
+            let gated =
+                pool.map_scoped_cancellable(&items, &mut states, &token, |_, &x| {
+                    x.wrapping_mul(3)
+                });
+            assert_eq!(gated.len(), items.len());
+            assert!(gated.iter().all(Option::is_some), "{workers} workers");
+            let gated: Vec<u64> = gated.into_iter().flatten().collect();
+            assert_eq!(gated, plain, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_batch_claims_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        for workers in [1usize, 3] {
+            let mut pool = WorkerPool::new(workers);
+            let mut states = vec![0u64; workers];
+            let items: Vec<u64> = (0..100).collect();
+            let out = pool.map_scoped_cancellable(&items, &mut states, &token, |s, &x| {
+                *s += 1;
+                x
+            });
+            assert_eq!(out.len(), items.len());
+            assert!(out.iter().all(Option::is_none), "{workers} workers");
+            assert_eq!(states.iter().sum::<u64>(), 0, "no closure may have run");
+        }
+    }
+
+    #[test]
+    fn mid_batch_cancellation_drains_with_partial_results() {
+        // A worker closure raises the flag partway through: every returned
+        // `Some` must be a complete, correct result, and at least one trailing
+        // item must have been skipped (the flag rose long before the end).
+        let mut pool = WorkerPool::new(2);
+        let items: Vec<u64> = (0..400).collect();
+        let mut states = vec![(); 2];
+        let token = CancelToken::new();
+        let out = pool.map_scoped_cancellable(&items, &mut states, &token, |_, &x| {
+            if x == 3 {
+                token.cancel();
+            }
+            x * 2
+        });
+        assert!(token.is_cancelled());
+        for (i, slot) in out.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v, (i as u64) * 2, "partial results must be exact");
+            }
+        }
+        assert!(
+            out.iter().any(Option::is_none),
+            "cancellation at item 3 of 400 must leave unclaimed items"
+        );
+        // The pool survives a cancelled batch like any other.
+        let clean = pool.map_scoped(&items, &mut states, |_, &x| x);
+        assert_eq!(clean, items);
     }
 }

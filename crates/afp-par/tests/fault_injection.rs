@@ -1,0 +1,87 @@
+//! Deterministic fault-injection proptests for the persistent [`WorkerPool`]
+//! (compiled only under the `fault-inject` feature — `scripts/ci.sh` runs
+//! them by name).
+//!
+//! A splitmix64-seeded [`FaultPlan`] makes planned jobs panic or stall, and
+//! 200 proptest cases assert the pool's failure-domain contract: injected
+//! panics propagate exactly when planned and never deadlock the dispatcher,
+//! stalls only delay, [`PoolStats`] stays consistent through it all, and a
+//! pool remains usable after arbitrarily many faulted batches.
+#![cfg(feature = "fault-inject")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use afp_par::fault::FaultPlan;
+use afp_par::{CancelToken, WorkerPool};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The pool-level survival property: across several batches with planned
+    /// panics and stalls, every batch drains (no deadlock — the test
+    /// completing is the evidence, and CI wraps the run in a `timeout`),
+    /// panics propagate exactly when the plan contains one, surviving
+    /// results match the serial loop bit-for-bit, stats counters balance,
+    /// and a final clean batch runs as if nothing ever went wrong.
+    #[test]
+    fn pool_survives_injected_faults(
+        seed in 0u64..1_000_000,
+        workers in 1usize..5,
+        items in 1usize..48,
+        panic_percent in 0u8..40,
+        stall_percent in 0u8..25,
+        batches in 1usize..4,
+    ) {
+        let plan = FaultPlan::new(seed, panic_percent, stall_percent);
+        let mut pool = WorkerPool::new(workers);
+        let mut states = vec![0u64; workers];
+        let xs: Vec<u64> = (0..items as u64).collect();
+        for batch in 0..batches as u64 {
+            // Job ids advance across batches so each batch faults at
+            // different (but planned) positions.
+            let offset = batch * 1000;
+            let planned_panic = xs.iter().any(|&x| plan.panics(offset + x));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                pool.map_scoped(&xs, &mut states, |hits, &x| {
+                    plan.inject(offset + x);
+                    *hits += 1;
+                    x.wrapping_mul(0x9E37)
+                })
+            }));
+            match outcome {
+                Ok(results) => {
+                    prop_assert!(!planned_panic, "planned panic was swallowed");
+                    let serial: Vec<u64> =
+                        xs.iter().map(|&x| x.wrapping_mul(0x9E37)).collect();
+                    prop_assert_eq!(results, serial);
+                }
+                Err(payload) => {
+                    prop_assert!(planned_panic, "unplanned panic escaped");
+                    let message = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .unwrap_or_default();
+                    prop_assert!(
+                        message.contains("injected fault"),
+                        "foreign panic payload: {}", message
+                    );
+                }
+            }
+        }
+        // PoolStats consistency after repeated faulted batches.
+        let stats = pool.stats();
+        prop_assert_eq!(stats.batches, batches as u64);
+        prop_assert_eq!(stats.inline_batches + stats.parked_dispatches, stats.batches);
+        prop_assert!(stats.threads_woken <= stats.parked_dispatches * (workers as u64));
+        // Reusability: a clean batch (and a clean cancellable batch) both
+        // run to completion with exact results.
+        let clean = pool.map_scoped(&xs, &mut states, |_, &x| x + 1);
+        prop_assert_eq!(clean, (1..=items as u64).collect::<Vec<_>>());
+        let token = CancelToken::new();
+        let gated = pool.map_scoped_cancellable(&xs, &mut states, &token, |_, &x| x + 1);
+        prop_assert!(gated.iter().all(Option::is_some));
+        prop_assert_eq!(pool.stats().batches, batches as u64 + 2);
+    }
+}

@@ -17,9 +17,13 @@
 //! * [`afp_metaheuristics`] — SA / GA / PSO / RL-SA / sequence-pair RL baselines.
 //! * [`afp_route`] — OARSMT global routing and procedural layout completion.
 //! * [`afp_core`] — the end-to-end [`afp_core::pipeline::LayoutPipeline`].
+//! * [`afp_par`] — the persistent worker pool, run-control vocabulary
+//!   (deadlines, budgets, cancellation) and, under `fault-inject`, the
+//!   deterministic fault-injection harness.
 
 pub use afp_circuit as circuit;
 pub use afp_core as core;
+pub use afp_par as par;
 pub use afp_gnn as gnn;
 pub use afp_layout as layout;
 pub use afp_metaheuristics as metaheuristics;

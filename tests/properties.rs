@@ -755,7 +755,10 @@ proptest! {
             let mut cache = CostCache::new(&problem);
             serial.push(simulated_annealing_with_cache(&problem, &chain_cfg, None, &mut cache));
         }
-        for (chain, (p, s)) in pooled.chains.iter().zip(&serial).enumerate() {
+        for (chain, (outcome, s)) in pooled.chains.iter().zip(&serial).enumerate() {
+            let p = outcome
+                .result()
+                .unwrap_or_else(|| panic!("uncontrolled chain {chain} did not finish"));
             prop_assert_eq!(
                 p.reward, s.reward,
                 "chain {} reward diverged from serial replay ({} workers)",
@@ -770,8 +773,182 @@ proptest! {
         }
         prop_assert_eq!(
             pooled.winner,
-            select_winner(&circuit, &serial),
+            Some(select_winner(&circuit, &serial)),
             "winner diverged from the serial reduction"
         );
+    }
+
+    /// An SA run under a `RunControl` whose deadline and budget can never
+    /// fire must replay the uncontrolled run bit for bit, at any polling
+    /// stride: the control layer's polls draw nothing from the RNG, so PR 6
+    /// trajectories are preserved exactly. (An interrupted run is allowed to
+    /// — and does — stop early; this pins the *uninterrupted* contract.)
+    #[test]
+    fn sa_with_generous_deadline_replays_the_unbounded_run(
+        seed in 0u64..1_000_000,
+        stride in 1u64..200,
+        restarts in 0usize..3,
+    ) {
+        use std::time::Duration;
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::metaheuristics::{
+            simulated_annealing_controlled, simulated_annealing_with_cache, CostCache, Problem,
+            RunControl, SaConfig, StopReason,
+        };
+        let circuit = match seed % 3 {
+            0 => generators::ota5(),
+            1 => generators::ota8(),
+            _ => generators::bias9(),
+        };
+        let problem = Problem::new(&circuit);
+        let cfg = SaConfig {
+            iterations: 150,
+            seed,
+            restarts,
+            ..SaConfig::small()
+        };
+        let mut cache = CostCache::new(&problem);
+        let plain = simulated_annealing_with_cache(&problem, &cfg, None, &mut cache);
+        let control = RunControl::unbounded()
+            .with_deadline(Duration::from_secs(3600))
+            .with_budget(u64::MAX)
+            .with_stride(stride);
+        let mut cache = CostCache::new(&problem);
+        let controlled = simulated_annealing_controlled(&problem, &cfg, None, &mut cache, &control);
+        prop_assert_eq!(controlled.stop, StopReason::Completed);
+        prop_assert_eq!(controlled.reward, plain.reward, "reward diverged (stride {})", stride);
+        prop_assert_eq!(controlled.evaluations, plain.evaluations);
+        prop_assert_eq!(&controlled.floorplan, &plain.floorplan);
+    }
+}
+
+/// Robustness proptests of the chain-race failure domains, driven by the
+/// deterministic fault-injection harness (`--features fault-inject`; run by
+/// name in scripts/ci.sh).
+#[cfg(feature = "fault-inject")]
+mod fault_injection {
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+
+        /// `multistart_sa_injected` under a seeded `FaultPlan`: the set of
+        /// panicked chains is exactly the planned set at every worker count,
+        /// surviving chains are bit-identical to serial replays with the
+        /// derived chain seeds, and the winner reduces deterministically
+        /// over the survivors — `None` only when every chain panicked.
+        /// Stalls perturb scheduling only; results must not move.
+        #[test]
+        fn multistart_survivors_winner_is_deterministic_under_injected_faults(
+            seed in 0u64..1_000_000,
+            chains in 1usize..6,
+            panic_percent in 0u8..70,
+            stall_percent in 0u8..25,
+        ) {
+            use analog_floorplan::circuit::generators;
+            use analog_floorplan::metaheuristics::{
+                chain_seed, multistart_sa_injected, select_surviving_winner,
+                simulated_annealing_with_cache, ChainOutcome, CostCache, MultistartSaConfig,
+                Problem, RunControl, SaConfig,
+            };
+            use analog_floorplan::par::fault::FaultPlan;
+            let circuit = match seed % 3 {
+                0 => generators::ota5(),
+                1 => generators::ota8(),
+                _ => generators::bias9(),
+            };
+            let problem = Problem::new(&circuit);
+            let cfg = MultistartSaConfig {
+                base: SaConfig {
+                    iterations: 60,
+                    seed,
+                    ..SaConfig::small()
+                },
+                chains,
+                workers: 1,
+            };
+            let plan = FaultPlan::new(seed, panic_percent, stall_percent);
+
+            let reference = multistart_sa_injected(
+                &problem,
+                &cfg,
+                &RunControl::unbounded(),
+                &plan,
+            );
+            prop_assert_eq!(reference.chains.len(), chains);
+            for (chain, outcome) in reference.chains.iter().enumerate() {
+                if plan.panics(chain as u64) {
+                    let message = outcome.panic_message().unwrap_or("");
+                    prop_assert!(
+                        outcome.is_panicked(),
+                        "chain {} was planned to panic but finished",
+                        chain
+                    );
+                    prop_assert!(
+                        message.contains("injected fault"),
+                        "chain {} lost its panic payload: {:?}",
+                        chain, message
+                    );
+                } else {
+                    // A survivor is exactly the serial replay: the panic of a
+                    // neighbouring chain must not leak into its trajectory
+                    // (its worker's cache was rebuilt from scratch).
+                    let result = outcome
+                        .result()
+                        .unwrap_or_else(|| panic!("chain {chain} neither panicked nor finished"));
+                    let chain_cfg = SaConfig {
+                        seed: chain_seed(cfg.base.seed, chain),
+                        ..cfg.base.clone()
+                    };
+                    let mut cache = CostCache::new(&problem);
+                    let replay =
+                        simulated_annealing_with_cache(&problem, &chain_cfg, None, &mut cache);
+                    prop_assert_eq!(result.reward, replay.reward, "chain {} diverged", chain);
+                    prop_assert_eq!(&result.floorplan, &replay.floorplan);
+                }
+            }
+            prop_assert_eq!(
+                reference.winner,
+                select_surviving_winner(&circuit, &reference.chains),
+                "winner is not the deterministic survivor reduction"
+            );
+            let any_survivor = reference
+                .chains
+                .iter()
+                .any(|outcome| matches!(outcome, ChainOutcome::Finished(_)));
+            prop_assert_eq!(reference.winner.is_some(), any_survivor);
+
+            // The panicked set is the plan's choice, never the scheduler's:
+            // the whole outcome vector (and the winner) is identical at
+            // every worker count, and each pooled run leaves its pool
+            // reusable (the run itself would deadlock or panic otherwise).
+            for workers in [2usize, 4] {
+                let pooled = multistart_sa_injected(
+                    &problem,
+                    &MultistartSaConfig { workers, ..cfg.clone() },
+                    &RunControl::unbounded(),
+                    &plan,
+                );
+                prop_assert_eq!(pooled.winner, reference.winner, "{} workers", workers);
+                for (chain, (p, r)) in
+                    pooled.chains.iter().zip(&reference.chains).enumerate()
+                {
+                    prop_assert_eq!(
+                        p.is_panicked(),
+                        r.is_panicked(),
+                        "chain {} fault set moved at {} workers",
+                        chain, workers
+                    );
+                    match (p.result(), r.result()) {
+                        (Some(a), Some(b)) => {
+                            prop_assert_eq!(a.reward, b.reward, "chain {} diverged", chain);
+                            prop_assert_eq!(&a.floorplan, &b.floorplan);
+                        }
+                        (None, None) => {}
+                        _ => panic!("chain {chain} outcome class moved at {workers} workers"),
+                    }
+                }
+            }
+        }
     }
 }
