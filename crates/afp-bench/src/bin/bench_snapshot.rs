@@ -3,9 +3,10 @@
 //! dirty-block realization (`incremental_realize`, per-move cost + replay
 //! hit rate), positional-mask (`masks`), parallel generation-evaluation
 //! (`eval_pool`), parked-pool dispatch (`pool_overhead`), multi-start SA
-//! (`multistart`) and locality-aware move mix (`sa_locality`) medians, and
-//! the SA evaluation throughput, so every PR that touches the hot path has
-//! a trajectory to compare against.
+//! (`multistart`) and locality-aware move mix (`sa_locality`) medians, the
+//! serve layer's cache-hit latency and job throughput (`serve`), and the SA
+//! evaluation throughput, so every PR that touches the hot path has a
+//! trajectory to compare against.
 //!
 //! Usage: `cargo run --release -p afp-bench --bin bench_snapshot`
 //! (run from the repository root; the snapshot is written to
@@ -20,10 +21,11 @@ use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
 use afp_layout::{Floorplan, PackScratch};
 use afp_metaheuristics::{
     chain_seed, multistart_sa, select_winner, simulated_annealing,
-    simulated_annealing_with_cache, Candidate, CostCache, EvalPool, MoveMix, MultistartSaConfig,
-    Problem, SaConfig,
+    simulated_annealing_with_cache, Baseline, Candidate, CostCache, EvalPool, MoveMix,
+    MultistartSaConfig, Problem, SaConfig,
 };
-use afp_par::WorkerPool;
+use afp_par::{PoolHandle, WorkerPool};
+use afp_serve::{JobEngine, JobRequest, JobSpec, ServeConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -188,6 +190,83 @@ fn main() {
     let ms_chains_per_sec_w1 = ms_cfg.chains as f64 / (ms_workers1_ns * 1e-9).max(1e-12);
     let ms_chains_per_sec_w2 = ms_cfg.chains as f64 / (ms_workers2_ns * 1e-9).max(1e-12);
 
+    // Serve layer: cache-hit latency vs cold solve, and job throughput at
+    // 1/2/4 pool workers on a batch of distinct-seed Table-I SA jobs.
+    // Bit-identity of the memoized result against the cold solve is asserted
+    // before any timing — a written `serve` section proves the check passed.
+    let serve_spec = JobSpec::new(sa_circuit.clone(), Baseline::Sa(SaConfig::table1()), 0x5EED);
+    let serve_pool = PoolHandle::new(1);
+    let serve_bit_identical = {
+        let mut engine = JobEngine::with_pool(&ServeConfig::default(), serve_pool.clone());
+        let cold = engine.submit(JobRequest::new(serve_spec.clone()));
+        engine.run_pending();
+        let hot = engine.submit(JobRequest::new(serve_spec.clone()));
+        engine.run_pending();
+        let cold = engine.outcome(cold).expect("cold solve finished").clone();
+        let hot = engine.outcome(hot).expect("hit resolved").clone();
+        !cold.cache_hit
+            && hot.cache_hit
+            && cold.result.reward.to_bits() == hot.result.reward.to_bits()
+            && cold.result.evaluations == hot.result.evaluations
+            && cold.result.floorplan == hot.result.floorplan
+            && engine.cache_stats().hits == 1
+    };
+    assert!(
+        serve_bit_identical,
+        "serve cache hit diverged from the cold solve"
+    );
+    let serve_cold_ns = median_ns(|| {
+        let mut engine = JobEngine::with_pool(&ServeConfig::default(), serve_pool.clone());
+        let id = engine.submit(JobRequest::new(serve_spec.clone()));
+        engine.run_pending();
+        assert!(!engine.outcome(id).expect("solved").cache_hit);
+    });
+    // Hit latency is measured on a warmed engine with a bounded submission
+    // count per sample (not `median_ns`, whose calibration would enqueue
+    // millions of job records): median of 5 samples of 200 hits.
+    let serve_hit_ns = {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let mut engine =
+                    JobEngine::with_pool(&ServeConfig::default(), serve_pool.clone());
+                engine.submit(JobRequest::new(serve_spec.clone()));
+                engine.run_pending();
+                const HITS: usize = 200;
+                let started = Instant::now();
+                for _ in 0..HITS {
+                    let id = engine.submit(JobRequest::new(serve_spec.clone()));
+                    engine.run_pending();
+                    assert!(engine.outcome(id).expect("resolved").cache_hit);
+                }
+                started.elapsed().as_nanos() as f64 / HITS as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        samples[samples.len() / 2]
+    };
+    let serve_hit_speedup = serve_cold_ns / serve_hit_ns.max(1e-9);
+    const SERVE_JOBS: u64 = 8;
+    let mut serve_seed = 0u64;
+    let mut serve_jobs_per_sec = |workers: usize| {
+        let pool = PoolHandle::new(workers);
+        let ns = median_ns(|| {
+            // Fresh engine, fresh seeds: every job is a genuine solve, so
+            // the number reflects sharded solve throughput, not cache hits.
+            let mut engine = JobEngine::with_pool(&ServeConfig::default(), pool.clone());
+            for _ in 0..SERVE_JOBS {
+                serve_seed += 1;
+                let mut spec = serve_spec.clone();
+                spec.seed = 0x0DD5_0000 + serve_seed;
+                engine.submit(JobRequest::new(spec));
+            }
+            assert_eq!(engine.run_pending(), SERVE_JOBS as usize);
+        });
+        SERVE_JOBS as f64 / (ns * 1e-9).max(1e-12)
+    };
+    let serve_jps_w1 = serve_jobs_per_sec(1);
+    let serve_jps_w2 = serve_jobs_per_sec(2);
+    let serve_jps_w4 = serve_jobs_per_sec(4);
+
     // Locality-aware SA move mix: the end-to-end cost walk at bias 0 (the
     // historical uniform proposal stream) vs the Table I bias. The timing
     // comes from `median_ns` (wall-clock calibrated, so its move count — and
@@ -331,6 +410,11 @@ fn main() {
         ms_workers2_ns / 1e6,
     );
     println!(
+        "serve bias19: cold {:.1} ms  hit {:.1} us ({serve_hit_speedup:.0}x)  {SERVE_JOBS} jobs  w1 {serve_jps_w1:.1}/s  w2 {serve_jps_w2:.1}/s  w4 {serve_jps_w4:.1}/s",
+        serve_cold_ns / 1e6,
+        serve_hit_ns / 1e3,
+    );
+    println!(
         "sa_locality bias19: uniform {uniform_move_ns:>8.1} ns/move (pack replay {:.1}%, snap hit {:.1}%)  bias {:.2} {local_move_ns:>8.1} ns/move (pack replay {:.1}%, snap hit {:.1}%)",
         100.0 * uniform_pack_replay,
         100.0 * uniform_snap_hit,
@@ -389,9 +473,14 @@ fn main() {
         ms_cfg.chains,
         ms_cfg.base.iterations,
     );
+    let serve_json = format!(
+        "  \"serve\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"solver\": \"SA\",\n    \"cold_solve_ns\": {serve_cold_ns:.1},\n    \"cache_hit_ns\": {serve_hit_ns:.1},\n    \"hit_speedup\": {serve_hit_speedup:.1},\n    \"batch_jobs\": {SERVE_JOBS},\n    \"jobs_per_sec_workers1\": {serve_jps_w1:.2},\n    \"jobs_per_sec_workers2\": {serve_jps_w2:.2},\n    \"jobs_per_sec_workers4\": {serve_jps_w4:.2},\n    \"bit_identical\": {serve_bit_identical}\n  }}",
+        sa_circuit.name,
+        sa_circuit.num_blocks(),
+    );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, parked WorkerPool dispatch overhead, multi-start SA, locality-aware SA move mix, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{pool_overhead_json},\n{multistart_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, parked WorkerPool dispatch overhead, multi-start SA, locality-aware SA move mix, the serve layer's result cache and job engine, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{pool_overhead_json},\n{multistart_json},\n{serve_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
         pack_rows.join(",\n"),
         snap_rows.join(",\n"),
         mcircuit.name,

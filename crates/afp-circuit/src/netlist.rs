@@ -24,6 +24,13 @@ pub struct Schematic {
     pub devices: Vec<Device>,
     /// Device-level nets: net name → list of `(device, terminal)` pairs.
     pub connections: Vec<(String, Vec<(DeviceId, String)>)>,
+    /// Input cards the parser ignored, as `(line, reason)` pairs.
+    ///
+    /// Populated by [`crate::spice::parse_spice`] for dot-directives and
+    /// unrecognized card types so that ingestion layers can report what was
+    /// dropped instead of silently solving a truncated netlist. Empty for
+    /// programmatically built schematics.
+    pub skipped: Vec<(usize, String)>,
 }
 
 impl Schematic {
@@ -33,6 +40,7 @@ impl Schematic {
             name: name.into(),
             devices: Vec::new(),
             connections: Vec::new(),
+            skipped: Vec::new(),
         }
     }
 

@@ -5,11 +5,16 @@
 //! can be fed into structure recognition without hand-building a
 //! [`Schematic`]:
 //!
-//! * `M<name> d g s b <model> [W=… L=… NF=… M=…]` — MOS transistors (model
-//!   names containing `p` are treated as PMOS),
+//! * `M<name> d g s b <model> [W=… L=… NF=… M=…]` — MOS transistors (the
+//!   model-name *prefix* decides polarity: `p…`/`pmos…`/`pch…`/`pfet…` are
+//!   PMOS, everything else — including low-power spellings like `nmos_lp` or
+//!   `nch_hvt_lp` — is NMOS),
 //! * `R<name> a b <value>` / `C<name> a b <value>` — passives,
 //! * `D<name> a k <model>` and `Q<name> c b e <model>` — diodes / BJTs,
-//! * `*` and `;` comments, `.end`/`.ends`/other dot-cards are ignored.
+//! * `+` at the start of a line continues the previous card,
+//! * `*` and `;` comments are dropped; `.end`/`.ends`/other dot-cards and
+//!   unknown card types are skipped, with a `(line, reason)` record appended
+//!   to [`Schematic::skipped`] for each.
 //!
 //! Dimensions are read in micrometres (plain numbers) with the usual
 //! engineering suffixes (`u`, `n`, `m`, `k`) accepted.
@@ -36,6 +41,11 @@ pub enum SpiceError {
         /// The offending token.
         token: String,
     },
+    /// A `+` continuation line appeared before any card it could extend.
+    DanglingContinuation {
+        /// The line number (1-based).
+        line: usize,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -46,6 +56,9 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::BadNumber { line, token } => {
                 write!(f, "line {line}: cannot parse number `{token}`")
+            }
+            SpiceError::DanglingContinuation { line } => {
+                write!(f, "line {line}: `+` continuation with no preceding card")
             }
         }
     }
@@ -74,6 +87,26 @@ fn parse_value(token: &str, line: usize) -> Result<f64, SpiceError> {
         })
 }
 
+/// Decides MOS polarity from the model name.
+///
+/// Polarity is carried by the model *prefix* (`pmos…`, `pch…`, `pfet…`, or a
+/// bare leading `p`), not by `p` appearing anywhere: flavour suffixes such as
+/// `_lp` (low power) or `_hvt_lp` would otherwise flip NMOS models like
+/// `nmos_lp` and `nch_hvt_lp` to PMOS. Unrecognized prefixes default to NMOS.
+fn mos_kind(model: &str) -> DeviceKind {
+    let lower = model.to_ascii_lowercase();
+    if ["pmos", "pch", "pfet"].iter().any(|p| lower.starts_with(p)) {
+        return DeviceKind::Pmos;
+    }
+    if ["nmos", "nch", "nfet"].iter().any(|p| lower.starts_with(p)) {
+        return DeviceKind::Nmos;
+    }
+    match lower.chars().next() {
+        Some('p') => DeviceKind::Pmos,
+        _ => DeviceKind::Nmos,
+    }
+}
+
 /// Extracts a `KEY=value` parameter (case-insensitive) from the fields of a
 /// card, if present.
 fn named_param(fields: &[&str], key: &str, line: usize) -> Result<Option<f64>, SpiceError> {
@@ -87,24 +120,64 @@ fn named_param(fields: &[&str], key: &str, line: usize) -> Result<Option<f64>, S
     Ok(None)
 }
 
-/// Parses a flat SPICE netlist into a device-level [`Schematic`].
+/// Folds the physical lines of a SPICE source into logical cards.
+///
+/// Strips `;` comments, drops blank and `*` comment lines, and appends `+`
+/// continuation lines (space-joined) to the preceding card. Each card keeps
+/// the line number of its first physical line for error reporting.
 ///
 /// # Errors
 ///
-/// Returns a [`SpiceError`] for malformed device cards; unknown card types and
-/// dot-directives are skipped silently.
+/// Returns [`SpiceError::DanglingContinuation`] when a `+` line appears
+/// before any card it could extend (comment lines do not count as cards).
+fn logical_cards(text: &str) -> Result<Vec<(usize, String)>, SpiceError> {
+    let mut cards: Vec<(usize, String)> = Vec::new();
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = line_no + 1;
+        let stripped = raw_line.split(';').next().unwrap_or("").trim();
+        if stripped.is_empty() || stripped.starts_with('*') {
+            continue;
+        }
+        if let Some(rest) = stripped.strip_prefix('+') {
+            match cards.last_mut() {
+                Some((_, card)) => {
+                    card.push(' ');
+                    card.push_str(rest.trim());
+                }
+                None => return Err(SpiceError::DanglingContinuation { line }),
+            }
+            continue;
+        }
+        cards.push((line, stripped.to_string()));
+    }
+    Ok(cards)
+}
+
+/// Parses a flat SPICE netlist into a device-level [`Schematic`].
+///
+/// `+` continuation lines are folded into the preceding card before
+/// tokenizing, so multi-line device cards keep their parameters. Unknown card
+/// types and dot-directives are skipped, with a `(line, reason)` entry pushed
+/// onto [`Schematic::skipped`] for each.
+///
+/// # Errors
+///
+/// Returns a [`SpiceError`] for malformed device cards and for a leading `+`
+/// continuation with no card before it.
 pub fn parse_spice(name: &str, text: &str) -> Result<Schematic, SpiceError> {
     let mut schematic = Schematic::new(name);
     // (net name, device, terminal) triples collected before being grouped.
     let mut connections: Vec<(String, DeviceId, &'static str)> = Vec::new();
 
-    for (line_no, raw_line) in text.lines().enumerate() {
-        let line = line_no + 1;
-        let stripped = raw_line.split(';').next().unwrap_or("").trim();
-        if stripped.is_empty() || stripped.starts_with('*') || stripped.starts_with('.') {
+    for (line, card_text) in logical_cards(text)? {
+        if card_text.starts_with('.') {
+            let directive = card_text.split_whitespace().next().unwrap_or(".");
+            schematic
+                .skipped
+                .push((line, format!("dot-directive `{directive}` skipped")));
             continue;
         }
-        let fields: Vec<&str> = stripped.split_whitespace().collect();
+        let fields: Vec<&str> = card_text.split_whitespace().collect();
         let card = fields[0];
         let kind_char = card.chars().next().unwrap_or(' ').to_ascii_uppercase();
         match kind_char {
@@ -115,12 +188,7 @@ pub fn parse_spice(name: &str, text: &str) -> Result<Schematic, SpiceError> {
                         card: card.to_string(),
                     });
                 }
-                let model = fields[5].to_ascii_lowercase();
-                let kind = if model.contains('p') {
-                    DeviceKind::Pmos
-                } else {
-                    DeviceKind::Nmos
-                };
+                let kind = mos_kind(fields[5]);
                 let w = named_param(&fields, "W", line)?.unwrap_or(1.0);
                 let l = named_param(&fields, "L", line)?.unwrap_or(0.5);
                 let nf = named_param(&fields, "NF", line)?.unwrap_or(1.0).max(1.0) as u32;
@@ -177,7 +245,10 @@ pub fn parse_spice(name: &str, text: &str) -> Result<Schematic, SpiceError> {
                 }
             }
             _ => {
-                // Unknown card (subcircuit instance, source, …): skipped.
+                // Unknown card (subcircuit instance, source, …): record why.
+                schematic
+                    .skipped
+                    .push((line, format!("unrecognized card `{card}` skipped")));
             }
         }
     }
@@ -273,6 +344,78 @@ C1 out 0 1.0
         .unwrap();
         assert!(schematic.devices.is_empty());
         assert!(schematic.connections.is_empty());
+    }
+
+    #[test]
+    fn mos_polarity_follows_model_prefix_not_any_p() {
+        // Low-power NMOS flavours contain a 'p' but must stay NMOS.
+        let schematic = parse_spice(
+            "lp",
+            "M1 d g s 0 nmos_lp W=4u L=0.5u\n\
+             M2 d g s 0 nch_hvt_lp W=4u L=0.5u\n\
+             M3 d g vdd vdd pmos_lvt W=8u L=0.5u\n\
+             M4 d g vdd vdd pch_hvt W=8u L=0.5u\n\
+             M5 d g vdd vdd p33 W=8u L=0.5u\n",
+        )
+        .unwrap();
+        let kinds: Vec<_> = schematic.devices.iter().map(|d| d.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DeviceKind::Nmos,
+                DeviceKind::Nmos,
+                DeviceKind::Pmos,
+                DeviceKind::Pmos,
+                DeviceKind::Pmos,
+            ]
+        );
+    }
+
+    #[test]
+    fn continuation_lines_fold_into_previous_card() {
+        let schematic = parse_spice(
+            "cont",
+            "M1 d g s 0 nmos\n+ W=8u L=0.5u\n+ NF=2 M=3\nC1 out 0\n+ 1.0\n",
+        )
+        .unwrap();
+        assert_eq!(schematic.devices.len(), 2);
+        assert!((schematic.devices[0].width_um - 8.0).abs() < 1e-9);
+        assert!((schematic.devices[0].length_um - 0.5).abs() < 1e-9);
+        assert_eq!(schematic.devices[0].fingers, 2);
+        assert_eq!(schematic.devices[0].multiplier, 3);
+        assert_eq!(schematic.devices[1].kind, DeviceKind::Capacitor);
+    }
+
+    #[test]
+    fn continuation_after_comment_extends_last_card() {
+        // A comment line is not a card; the `+` still extends M1.
+        let schematic =
+            parse_spice("cont", "M1 d g s 0 nmos\n* noise\n+ W=8u L=0.5u\n").unwrap();
+        assert!((schematic.devices[0].width_um - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dangling_continuation_is_an_error() {
+        let err = parse_spice("bad", "* header\n+ W=8u\n").unwrap_err();
+        assert_eq!(err, SpiceError::DanglingContinuation { line: 2 });
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn skipped_cards_are_reported_with_line_and_reason() {
+        let schematic = parse_spice(
+            "diag",
+            "* comment\n.subckt foo a b\nM1 d g s 0 nmos W=4u L=0.5u\nVdd vdd 0 1.8\n.ends\n",
+        )
+        .unwrap();
+        assert_eq!(schematic.devices.len(), 1);
+        assert_eq!(schematic.skipped.len(), 3);
+        assert_eq!(schematic.skipped[0].0, 2);
+        assert!(schematic.skipped[0].1.contains(".subckt"));
+        assert_eq!(schematic.skipped[1].0, 4);
+        assert!(schematic.skipped[1].1.contains("`Vdd`"));
+        assert_eq!(schematic.skipped[2].0, 5);
+        assert!(schematic.skipped[2].1.contains(".ends"));
     }
 
     #[test]

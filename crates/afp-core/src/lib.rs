@@ -12,7 +12,11 @@
 //! * [`stats`] — interquartile means and standard deviations,
 //! * [`parallel`] — fan-out of independent experiment runs over worker
 //!   threads (re-exported from the bottom-layer `afp-par` crate, which also
-//!   powers `afp-metaheuristics`' batched candidate-evaluation pool).
+//!   powers `afp-metaheuristics`' batched candidate-evaluation pool),
+//! * [`serve`] — the solve service (re-exported from `afp-serve`): canonical
+//!   problem fingerprints, a content-addressed result cache, and a
+//!   [`JobEngine`] that shards cancellable, deadline-aware solve jobs across
+//!   a shared persistent worker pool.
 //!
 //! # Examples
 //!
@@ -30,6 +34,7 @@
 #![warn(missing_debug_implementations)]
 
 pub use afp_par as parallel;
+pub use afp_serve as serve;
 pub mod pipeline;
 pub mod report;
 pub mod stats;
@@ -38,6 +43,7 @@ pub use parallel::{
     parallel_map, parallel_map_scoped, CancelToken, PoolStats, RunControl, StopReason, WorkerPool,
 };
 pub use pipeline::{FloorplanMethod, LayoutPipeline, PipelineConfig, PipelineResult};
+pub use serve::{JobEngine, JobRequest, JobSpec, ServeConfig};
 pub use report::{
     format_table_one, format_table_two, paper_manual_references, ManualReference,
     MethodMeasurements, MethodSummary, TableOneRow, TableTwoRow,

@@ -912,7 +912,11 @@ impl ChainOutcome {
 }
 
 /// Extracts a human-readable message from a caught panic payload.
-pub(crate) fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+///
+/// Public since PR 8: the serve-layer job engine isolates per-job panics with
+/// the same `catch_unwind` + [`ChainOutcome`] machinery the chain races use,
+/// and records the extracted message in its `Failed` job state.
+pub fn panic_payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

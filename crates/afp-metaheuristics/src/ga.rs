@@ -138,16 +138,48 @@ pub fn genetic_algorithm_controlled(
     config: &GaConfig,
     control: &RunControl,
 ) -> BaselineResult {
+    genetic_algorithm_controlled_seeded(circuit, config, control, None).0
+}
+
+/// [`genetic_algorithm_controlled`] with an optional warm-start candidate,
+/// returning the best candidate alongside the result.
+///
+/// A provided `warm` candidate replaces the deterministic identity member at
+/// population slot 0 (the random members and the whole RNG stream are
+/// untouched), so a serve-layer warm start biases the initial population
+/// toward a known-good solution without perturbing anything else. With
+/// `warm: None` the run is bit-identical to
+/// [`genetic_algorithm_controlled`].
+///
+/// # Panics
+///
+/// Panics if `warm` has a different block count than the circuit.
+pub fn genetic_algorithm_controlled_seeded(
+    circuit: &Circuit,
+    config: &GaConfig,
+    control: &RunControl,
+    warm: Option<&Candidate>,
+) -> (BaselineResult, Candidate) {
     let problem = Problem::new(circuit);
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut pool = EvalPool::new(&problem, config.workers);
     let n = problem.num_blocks();
 
+    if let Some(w) = warm {
+        assert_eq!(
+            w.positive.len(),
+            n,
+            "warm-start candidate has the wrong block count"
+        );
+    }
     let mut population: Vec<Candidate> = (0..config.population)
         .map(|i| {
             if i == 0 {
-                Candidate::identity(n, problem.shape_sets())
+                match warm {
+                    Some(w) => w.clone(),
+                    None => Candidate::identity(n, problem.shape_sets()),
+                }
             } else {
                 Candidate::random(n, &mut rng)
             }
@@ -166,8 +198,10 @@ pub fn genetic_algorithm_controlled(
     let (mut seen_best, mut seen_best_cost) = best_of(&population, &costs);
     let mut stop = StopReason::Completed;
     if let Some(reason) = early_stop(&problem, control, &seen_best, evaluations) {
-        return BaselineResult::from_candidate("GA", &problem, &seen_best, started, evaluations)
-            .with_stop(reason);
+        let result =
+            BaselineResult::from_candidate("GA", &problem, &seen_best, started, evaluations)
+                .with_stop(reason);
+        return (result, seen_best);
     }
 
     for _gen in 0..config.generations {
@@ -217,8 +251,10 @@ pub fn genetic_algorithm_controlled(
     }
 
     if stop.is_interrupted() {
-        return BaselineResult::from_candidate("GA", &problem, &seen_best, started, evaluations)
-            .with_stop(stop);
+        let result =
+            BaselineResult::from_candidate("GA", &problem, &seen_best, started, evaluations)
+                .with_stop(stop);
+        return (result, seen_best);
     }
     let best_idx = costs
         .iter()
@@ -226,7 +262,9 @@ pub fn genetic_algorithm_controlled(
         .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap_or(0);
-    BaselineResult::from_candidate("GA", &problem, &population[best_idx], started, evaluations)
+    let result =
+        BaselineResult::from_candidate("GA", &problem, &population[best_idx], started, evaluations);
+    (result, population[best_idx].clone())
 }
 
 /// The lowest-cost member of a scored population (lowest index on ties).

@@ -74,19 +74,22 @@ pub use common::{
     candidate_is_feasible, BaselineResult, Candidate, CancelToken, ChainOutcome, CostCache,
     EvalPool, MoveMix, PerturbUndo, Problem, RunControl, StopReason,
 };
-pub use ga::{genetic_algorithm, genetic_algorithm_controlled, GaConfig};
+pub use common::panic_payload_message;
+pub use ga::{
+    genetic_algorithm, genetic_algorithm_controlled, genetic_algorithm_controlled_seeded, GaConfig,
+};
 #[cfg(feature = "fault-inject")]
 pub use multistart::multistart_sa_injected;
 pub use multistart::{
     chain_seed, multistart_sa, multistart_sa_controlled, multistart_sa_on,
-    multistart_sa_on_controlled, select_surviving_winner, select_winner, MultistartResult,
-    MultistartSaConfig, Portfolio, PortfolioResult,
+    multistart_sa_on_controlled, multistart_sa_on_pooled, select_surviving_winner, select_winner,
+    MultistartResult, MultistartSaConfig, Portfolio, PortfolioResult,
 };
 pub use pso::{particle_swarm, particle_swarm_controlled, PsoConfig};
 pub use rl_sa::{rl_sa, rl_sa_controlled, RlSaConfig};
 pub use sa::{
-    simulated_annealing, simulated_annealing_controlled, simulated_annealing_on,
-    simulated_annealing_with_cache, SaConfig,
+    simulated_annealing, simulated_annealing_controlled, simulated_annealing_controlled_traced,
+    simulated_annealing_on, simulated_annealing_with_cache, SaConfig,
 };
 pub use sp_rl::{sequence_pair_rl, sequence_pair_rl_on, sequence_pair_rl_on_controlled, SpRlConfig};
 
@@ -159,31 +162,64 @@ impl Baseline {
         seed: u64,
         control: &RunControl,
     ) -> BaselineResult {
+        self.run_controlled_seeded(circuit, seed, control, None).0
+    }
+
+    /// [`Baseline::run_controlled`] with an optional warm-start candidate,
+    /// returning the best candidate found (when the algorithm exposes one)
+    /// alongside the result.
+    ///
+    /// This is the serve layer's entry point: a cached winner from a
+    /// same-topology solve is passed as `warm` so the optimizer resumes from
+    /// a known-good layout instead of a random start. Warm starts are honored
+    /// by SA (initial walk state) and GA (population slot 0); PSO's
+    /// random-key encoding and the RL baselines' learned policies have no
+    /// clean injection point, so they run cold and `warm` is ignored. The
+    /// returned candidate is `Some` for SA, GA and SP-RL — algorithms whose
+    /// best candidate is exposed — and `None` otherwise. With `warm: None`
+    /// the result is bit-identical to [`Baseline::run_controlled`].
+    pub fn run_controlled_seeded(
+        &self,
+        circuit: &Circuit,
+        seed: u64,
+        control: &RunControl,
+        warm: Option<&common::Candidate>,
+    ) -> (BaselineResult, Option<common::Candidate>) {
         match self {
             Baseline::Sa(cfg) => {
                 let cfg = SaConfig { seed, ..cfg.clone() };
                 let problem = Problem::new(circuit);
                 let mut cache = CostCache::new(&problem);
-                simulated_annealing_controlled(&problem, &cfg, None, &mut cache, control)
+                let (result, best) = simulated_annealing_controlled_traced(
+                    &problem,
+                    &cfg,
+                    warm.cloned(),
+                    &mut cache,
+                    control,
+                );
+                (result, Some(best))
             }
             Baseline::Ga(cfg) => {
                 let cfg = GaConfig { seed, ..cfg.clone() };
-                genetic_algorithm_controlled(circuit, &cfg, control)
+                let (result, best) =
+                    genetic_algorithm_controlled_seeded(circuit, &cfg, control, warm);
+                (result, Some(best))
             }
             Baseline::Pso(cfg) => {
                 let cfg = PsoConfig { seed, ..cfg.clone() };
-                particle_swarm_controlled(circuit, &cfg, control)
+                (particle_swarm_controlled(circuit, &cfg, control), None)
             }
             Baseline::RlSa(cfg) => {
                 let mut cfg = cfg.clone();
                 cfg.warmup.seed = seed;
                 cfg.refinement.seed = seed.wrapping_add(1);
-                rl_sa_controlled(circuit, &cfg, control)
+                (rl_sa_controlled(circuit, &cfg, control), None)
             }
             Baseline::SpRl(cfg) => {
                 let cfg = SpRlConfig { seed, ..cfg.clone() };
                 let problem = Problem::new(circuit);
-                sequence_pair_rl_on_controlled(&problem, &cfg, control).0
+                let (result, best) = sequence_pair_rl_on_controlled(&problem, &cfg, control);
+                (result, Some(best))
             }
         }
     }

@@ -54,7 +54,7 @@ use std::time::Instant;
 
 use afp_circuit::Circuit;
 use afp_layout::constraints;
-use afp_par::WorkerPool;
+use afp_par::PoolHandle;
 
 use crate::common::{
     panic_payload_message, BaselineResult, ChainOutcome, CostCache, Problem, RunControl, StopReason,
@@ -157,7 +157,7 @@ pub fn multistart_sa(circuit: &Circuit, config: &MultistartSaConfig) -> Multista
 }
 
 /// [`multistart_sa`] on an existing [`Problem`]: races the chains over a
-/// persistent [`WorkerPool`] with one warm [`CostCache`] per worker.
+/// persistent [`afp_par::WorkerPool`] with one warm [`CostCache`] per worker.
 ///
 /// Chain `i` is bit-identical to a serial
 /// [`simulated_annealing_with_cache`](crate::simulated_annealing_with_cache)
@@ -196,7 +196,30 @@ pub fn multistart_sa_on_controlled(
     config: &MultistartSaConfig,
     control: &RunControl,
 ) -> MultistartResult {
-    multistart_sa_core(problem, config, control, &|_| {})
+    let workers = resolve_workers(config.workers).min(config.chains.max(1));
+    multistart_sa_core(problem, config, control, &PoolHandle::new(workers), &|_| {})
+}
+
+/// [`multistart_sa_on_controlled`] over a *shared* [`PoolHandle`] instead of
+/// a pool of its own: the serve-layer job engine (and any other long-lived
+/// host) lends its process-wide workers to the race, so nested runners never
+/// stack thread complements. `config.workers` is ignored — the handle's pool
+/// decides the parallelism — and results are bit-identical to the owned-pool
+/// entry points at any handle size (worker count is a scheduling decision,
+/// never a results decision). When the handle's pool is busy (a re-entrant
+/// dispatch from inside one of its own batches), the chains run inline on
+/// the calling thread; see [`PoolHandle`].
+///
+/// # Panics
+///
+/// Panics if `config.chains` is zero.
+pub fn multistart_sa_on_pooled(
+    problem: &Problem,
+    config: &MultistartSaConfig,
+    control: &RunControl,
+    pool: &PoolHandle,
+) -> MultistartResult {
+    multistart_sa_core(problem, config, control, pool, &|_| {})
 }
 
 /// [`multistart_sa_on_controlled`] with a deterministic [`FaultPlan`]
@@ -218,7 +241,10 @@ pub fn multistart_sa_injected(
     control: &RunControl,
     plan: &afp_par::fault::FaultPlan,
 ) -> MultistartResult {
-    multistart_sa_core(problem, config, control, &|chain| plan.inject(chain as u64))
+    let workers = resolve_workers(config.workers).min(config.chains.max(1));
+    multistart_sa_core(problem, config, control, &PoolHandle::new(workers), &|chain| {
+        plan.inject(chain as u64)
+    })
 }
 
 /// The shared chain-racing core: `inject` runs at the top of each chain's
@@ -229,6 +255,7 @@ fn multistart_sa_core<F>(
     problem: &Problem,
     config: &MultistartSaConfig,
     control: &RunControl,
+    pool: &PoolHandle,
     inject: &F,
 ) -> MultistartResult
 where
@@ -236,8 +263,10 @@ where
 {
     assert!(config.chains > 0, "multistart_sa needs at least one chain");
     let started = Instant::now();
-    let workers = resolve_workers(config.workers).min(config.chains);
-    let mut pool = WorkerPool::new(workers);
+    // One warm cache per effective worker. Whether the dispatch lands on the
+    // pool's threads or falls back inline (shared-handle re-entrancy), each
+    // chain's result is bit-identical — only cache warmth and wall-clock vary.
+    let workers = pool.workers().min(config.chains);
     let mut caches: Vec<CostCache> = (0..workers).map(|_| CostCache::new(problem)).collect();
     let chain_ids: Vec<usize> = (0..config.chains).collect();
     let slots = pool.map_scoped_cancellable(
@@ -370,7 +399,7 @@ fn aggregate_stop(outcomes: &[ChainOutcome]) -> StopReason {
 /// many candidate solves against one shared engine.
 ///
 /// Members run as whole, independent optimizer runs over a persistent
-/// [`WorkerPool`]. Population members (GA/PSO) are forced to `workers: 1`
+/// [`afp_par::WorkerPool`]. Population members (GA/PSO) are forced to `workers: 1`
 /// for the duration of the race: they already occupy one portfolio worker
 /// each, and a nested per-member pool would oversubscribe the machine
 /// without changing any result (worker counts never change results).
@@ -500,7 +529,7 @@ impl Portfolio {
             })
             .collect();
         let workers = resolve_workers(self.workers).min(members.len());
-        let mut pool = WorkerPool::new(workers);
+        let pool = PoolHandle::new(workers);
         // Members build their own evaluation stacks (each `Baseline::run` is
         // a self-contained optimizer run), so the per-worker state is unit.
         let mut slots = vec![(); workers];
@@ -711,6 +740,39 @@ mod tests {
         let winner = select_winner(&circuit, &doubled);
         assert!(winner < finished_chains.len(), "tie must keep the lowest index");
         assert_eq!(Some(winner), result.winner);
+    }
+
+    #[test]
+    fn pooled_multistart_matches_the_owned_pool_entry_point() {
+        // The shared-handle entry point must reproduce the owned-pool run
+        // chain for chain, at any handle size — including a 1-worker handle,
+        // which runs every chain inline on the calling thread.
+        let circuit = generators::ota5();
+        let problem = Problem::new(&circuit);
+        let cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 120,
+                seed: 21,
+                ..SaConfig::small()
+            },
+            chains: 3,
+            workers: 2,
+        };
+        let owned = multistart_sa_on(&problem, &cfg);
+        for handle_workers in [1usize, 2, 4] {
+            let handle = PoolHandle::new(handle_workers);
+            let pooled =
+                multistart_sa_on_pooled(&problem, &cfg, &RunControl::unbounded(), &handle);
+            assert_eq!(pooled.winner, owned.winner, "{handle_workers}-worker handle");
+            for chain in 0..cfg.chains {
+                let p = finished(&pooled, chain);
+                let s = finished(&owned, chain);
+                assert_eq!(p.reward, s.reward, "chain {chain}");
+                assert_eq!(p.floorplan, s.floorplan, "chain {chain}");
+            }
+            // The race dispatched through the shared pool, not a private one.
+            assert!(handle.stats().batches >= 1);
+        }
     }
 
     #[test]

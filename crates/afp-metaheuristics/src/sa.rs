@@ -158,6 +158,25 @@ pub fn simulated_annealing_controlled(
     cache: &mut CostCache,
     control: &RunControl,
 ) -> BaselineResult {
+    simulated_annealing_controlled_traced(problem, config, initial, cache, control).0
+}
+
+/// [`simulated_annealing_controlled`] that additionally returns the best
+/// *candidate* (sequence pair + shape choices) alongside the result.
+///
+/// The serve layer's warm-start path needs the winning candidate — not just
+/// its realized floorplan — so a near-identical request (same topology,
+/// perturbed shapes or config) can resume the walk from the cached winner
+/// instead of a random start. The traced run is the plain controlled run
+/// with the internal `best` cloned out at the end: same RNG stream, same
+/// trajectory, bit-identical [`BaselineResult`].
+pub fn simulated_annealing_controlled_traced(
+    problem: &Problem,
+    config: &SaConfig,
+    initial: Option<Candidate>,
+    cache: &mut CostCache,
+    control: &RunControl,
+) -> (BaselineResult, Candidate) {
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mix = MoveMix::local(config.locality_bias);
@@ -174,13 +193,15 @@ pub fn simulated_annealing_controlled(
     // already-exhausted budget — or a warm start that is already feasible
     // under a first-feasible race — stops before the first move.
     if let Some(reason) = control.poll(0, evaluations as u64) {
-        return BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
+        let result = BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
             .with_stop(reason);
+        return (result, best);
     }
     if control.stop_on_first_feasible() && candidate_is_feasible(problem, &best) {
         control.cancel();
-        return BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
+        let result = BaselineResult::from_candidate("SA", problem, &best, started, evaluations)
             .with_stop(StopReason::FirstFeasible);
+        return (result, best);
     }
 
     // Restart boundaries split the budget into `restarts + 1` equal segments
@@ -239,7 +260,9 @@ pub fn simulated_annealing_controlled(
             break;
         }
     }
-    BaselineResult::from_candidate("SA", problem, &best, started, evaluations).with_stop(stop)
+    let result =
+        BaselineResult::from_candidate("SA", problem, &best, started, evaluations).with_stop(stop);
+    (result, best)
 }
 
 #[cfg(test)]

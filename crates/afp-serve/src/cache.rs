@@ -1,0 +1,274 @@
+//! Content-addressed result cache.
+//!
+//! Maps [`Fingerprint`]s to solved [`BaselineResult`]s. Because equal
+//! fingerprints imply bit-identical solves (the canonicalization contract of
+//! [`crate::fingerprint`]), a hit can be returned verbatim in place of a
+//! re-solve. Alongside each result the cache stores the winning sequence-pair
+//! [`Candidate`] (when the solver exposes one) keyed by the spec's topology
+//! fingerprint, so a *near*-identical request — same circuit graph, perturbed
+//! sizings or solver knobs — can be seeded from the cached winner's layout
+//! instead of a random start ([`ResultCache::warm_hint`]).
+//!
+//! The cache is bounded: inserting into a full cache evicts the
+//! least-recently-used entry (recency is a logical tick bumped on every get
+//! and insert, so the policy is deterministic — no wall clock involved).
+
+use std::collections::HashMap;
+
+use afp_metaheuristics::common::Candidate;
+use afp_metaheuristics::BaselineResult;
+
+use crate::fingerprint::Fingerprint;
+
+/// A memoized solve: the result plus the winning candidate (if the solver
+/// exposes one) for warm-starting same-topology requests.
+#[derive(Debug, Clone)]
+pub struct CachedSolve {
+    /// The solve result, returned verbatim on an exact fingerprint hit.
+    pub result: BaselineResult,
+    /// The winning candidate, used to warm-start same-topology requests.
+    pub best: Option<Candidate>,
+}
+
+/// Hit/miss/eviction counters, monotone over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact-fingerprint lookups that found a memoized result.
+    pub hits: u64,
+    /// Exact-fingerprint lookups that found nothing.
+    pub misses: u64,
+    /// Warm-start hints served to near-identical (same-topology) requests.
+    pub warm_seeds: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    solve: CachedSolve,
+    topology: Fingerprint,
+    last_used: u64,
+}
+
+/// Bounded, LRU-evicting, content-addressed store of solve results.
+#[derive(Debug)]
+pub struct ResultCache {
+    entries: HashMap<Fingerprint, Entry>,
+    /// Most recently inserted exact fingerprint per topology fingerprint —
+    /// the warm-start index.
+    by_topology: HashMap<Fingerprint, Fingerprint>,
+    capacity: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            entries: HashMap::new(),
+            by_topology: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up an exact fingerprint, counting a hit or miss and refreshing
+    /// the entry's recency.
+    pub fn get(&mut self, fingerprint: Fingerprint) -> Option<&CachedSolve> {
+        self.tick += 1;
+        match self.entries.get_mut(&fingerprint) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(&entry.solve)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Exact lookup without touching recency or counters (for inspection).
+    pub fn peek(&self, fingerprint: Fingerprint) -> Option<&CachedSolve> {
+        self.entries.get(&fingerprint).map(|e| &e.solve)
+    }
+
+    /// The cached winner for the most recent entry with this topology
+    /// fingerprint, if any — a warm-start seed for a near-identical request.
+    /// Counts a `warm_seeds` stat when it returns a candidate.
+    pub fn warm_hint(&mut self, topology: Fingerprint) -> Option<Candidate> {
+        let exact = *self.by_topology.get(&topology)?;
+        let best = self
+            .entries
+            .get(&exact)
+            .and_then(|entry| entry.solve.best.clone());
+        if best.is_some() {
+            self.stats.warm_seeds += 1;
+        }
+        best
+    }
+
+    /// Inserts (or replaces) the solve for a fingerprint, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(
+        &mut self,
+        fingerprint: Fingerprint,
+        topology: Fingerprint,
+        solve: CachedSolve,
+    ) {
+        self.tick += 1;
+        if !self.entries.contains_key(&fingerprint) && self.entries.len() >= self.capacity {
+            self.evict_lru();
+        }
+        self.entries.insert(
+            fingerprint,
+            Entry {
+                solve,
+                topology,
+                last_used: self.tick,
+            },
+        );
+        self.by_topology.insert(topology, fingerprint);
+        self.stats.insertions += 1;
+    }
+
+    fn evict_lru(&mut self) {
+        // O(n) scan: the cache is bounded and small relative to solve cost,
+        // so a heap would be complexity without payoff. Ties broken by
+        // fingerprint for determinism (ticks are unique in practice).
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(fp, entry)| (entry.last_used, **fp))
+            .map(|(fp, _)| *fp);
+        if let Some(fp) = victim {
+            if let Some(entry) = self.entries.remove(&fp) {
+                // Drop the warm-start index only if it still points at the
+                // evicted entry; a newer same-topology entry keeps it alive.
+                if self.by_topology.get(&entry.topology) == Some(&fp) {
+                    self.by_topology.remove(&entry.topology);
+                }
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+    use afp_metaheuristics::{Baseline, RunControl, SaConfig};
+
+    use crate::fingerprint::JobSpec;
+
+    fn fp(words: [u64; 2]) -> Fingerprint {
+        Fingerprint(words)
+    }
+
+    fn solve() -> CachedSolve {
+        let circuit = generators::ota3();
+        let (result, best) = Baseline::Sa(SaConfig::small()).run_controlled_seeded(
+            &circuit,
+            3,
+            &RunControl::unbounded(),
+            None,
+        );
+        CachedSolve { result, best }
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_result_and_counts() {
+        let mut cache = ResultCache::new(4);
+        let spec = JobSpec::new(generators::ota3(), Baseline::Sa(SaConfig::small()), 3);
+        let key = spec.fingerprint();
+        let topo = spec.topology_fingerprint();
+        assert!(cache.get(key).is_none());
+        let solve = solve();
+        cache.insert(key, topo, solve.clone());
+        let hit = cache.get(key).expect("hit");
+        assert_eq!(hit.result.reward.to_bits(), solve.result.reward.to_bits());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut cache = ResultCache::new(2);
+        let s = solve();
+        cache.insert(fp([1, 1]), fp([10, 10]), s.clone());
+        cache.insert(fp([2, 2]), fp([20, 20]), s.clone());
+        // Touch entry 1 so entry 2 is the LRU victim.
+        assert!(cache.get(fp([1, 1])).is_some());
+        cache.insert(fp([3, 3]), fp([30, 30]), s);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(fp([1, 1])).is_some());
+        assert!(cache.peek(fp([2, 2])).is_none());
+        assert!(cache.peek(fp([3, 3])).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        // Entry 2's warm-start index went with it.
+        assert!(cache.warm_hint(fp([20, 20])).is_none());
+        assert!(cache.warm_hint(fp([30, 30])).is_some());
+    }
+
+    #[test]
+    fn warm_hint_follows_the_most_recent_same_topology_entry() {
+        let mut cache = ResultCache::new(4);
+        let topo = fp([10, 10]);
+        let older = solve();
+        let mut newer = older.clone();
+        if let Some(best) = &mut newer.best {
+            best.positive.swap(0, 1);
+        }
+        cache.insert(fp([1, 1]), topo, older);
+        cache.insert(fp([2, 2]), topo, newer.clone());
+        let hint = cache.warm_hint(topo).expect("hint");
+        assert_eq!(hint.positive, newer.best.unwrap().positive);
+        assert_eq!(cache.stats().warm_seeds, 1);
+        assert!(cache.warm_hint(fp([99, 99])).is_none());
+    }
+
+    #[test]
+    fn replacing_an_entry_does_not_evict() {
+        let mut cache = ResultCache::new(1);
+        let s = solve();
+        cache.insert(fp([1, 1]), fp([10, 10]), s.clone());
+        cache.insert(fp([1, 1]), fp([10, 10]), s.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 0);
+        cache.insert(fp([2, 2]), fp([20, 20]), s);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let cache = ResultCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+    }
+}

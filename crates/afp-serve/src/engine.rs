@@ -1,0 +1,584 @@
+//! The job engine: sharded, cancellable, cache-backed solve execution.
+//!
+//! [`JobEngine`] accepts [`JobRequest`]s, keys each by its canonical
+//! [`Fingerprint`], and drains the queue in batches with
+//! [`JobEngine::run_pending`]: exact fingerprint hits are answered from the
+//! [`ResultCache`] without touching a worker, and the remaining misses are
+//! sharded across the engine's [`PoolHandle`] — one persistent process-wide
+//! `WorkerPool` shared by every engine that clones the handle. Each miss runs
+//! its baseline under its own [`RunControl`] (per-job deadline, evaluation
+//! budget, and [`CancelToken`]) inside a `catch_unwind`, so a panicking solve
+//! becomes [`JobState::Failed`] for that job alone — the pool, the cache, and
+//! the other jobs in the batch are unaffected (the same [`ChainOutcome`]
+//! machinery the multi-start races use).
+//!
+//! Only runs that stopped with [`StopReason::Completed`] are memoized: the
+//! fingerprint does not encode deadlines or budgets, so an interrupted
+//! best-so-far result is *not* the canonical solve for its key and caching it
+//! would break the hit ≡ cold-solve bit-identity contract.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use afp_metaheuristics::common::Candidate;
+use afp_metaheuristics::{
+    panic_payload_message, BaselineResult, CancelToken, ChainOutcome, RunControl, StopReason,
+};
+use afp_par::PoolHandle;
+
+use crate::cache::{CacheStats, CachedSolve, ResultCache};
+use crate::fingerprint::{Fingerprint, JobSpec};
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads in the engine's pool (`0` = one per available hardware
+    /// thread). Ignored by [`JobEngine::with_pool`], where the shared handle
+    /// decides.
+    pub workers: usize,
+    /// Result-cache capacity in entries (minimum 1).
+    pub cache_capacity: usize,
+    /// Whether cache misses with a same-topology cached winner are seeded
+    /// from that winner's layout instead of a random start. Warm starts make
+    /// results depend on the engine's solve history (the hint is whatever
+    /// same-topology entry was cached most recently), so disable this when
+    /// reproducibility across engine instances matters more than solution
+    /// quality.
+    pub warm_start: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            cache_capacity: 64,
+            warm_start: true,
+        }
+    }
+}
+
+/// Handle to a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(usize);
+
+impl JobId {
+    /// The raw submission index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A solve request: the spec plus optional per-job run limits.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// What to solve.
+    pub spec: JobSpec,
+    /// Wall-clock deadline for this job, measured from when it starts running.
+    pub deadline: Option<Duration>,
+    /// Evaluation budget for this job.
+    pub budget: Option<u64>,
+}
+
+impl JobRequest {
+    /// An unlimited request for the given spec.
+    pub fn new(spec: JobSpec) -> Self {
+        JobRequest {
+            spec,
+            deadline: None,
+            budget: None,
+        }
+    }
+}
+
+/// A finished job's payload.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The solve result.
+    pub result: BaselineResult,
+    /// Whether the result was served from the cache (no solver ran).
+    pub cache_hit: bool,
+    /// Whether the solver was warm-started from a cached same-topology winner.
+    pub warm_started: bool,
+    /// The job's canonical fingerprint (its cache key).
+    pub fingerprint: Fingerprint,
+}
+
+/// Typed job lifecycle.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Submitted, not yet picked up by [`JobEngine::run_pending`].
+    Queued,
+    /// Claimed by the current `run_pending` batch.
+    Running,
+    /// Produced a result — from the cache or from a solver run (a run whose
+    /// control tripped mid-flight still lands here, with
+    /// [`BaselineResult::stop`] recording why it stopped early).
+    Done(JobOutcome),
+    /// Cancelled before producing any result.
+    Cancelled,
+    /// The solver panicked; the payload message is retained.
+    Failed(String),
+}
+
+impl JobState {
+    /// Whether the job has left the queue for good.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done(_) | JobState::Cancelled | JobState::Failed(_)
+        )
+    }
+}
+
+#[derive(Debug)]
+struct Job {
+    request: JobRequest,
+    state: JobState,
+    token: CancelToken,
+}
+
+/// Sharded, cancellable, cache-backed solve engine.
+///
+/// Single-threaded in its own right: submission and `run_pending` happen on
+/// the caller's thread, and only the solver work inside a batch is sharded
+/// across the pool. Clone the [`PoolHandle`] into several engines to share
+/// one process-wide worker pool between them.
+#[derive(Debug)]
+pub struct JobEngine {
+    pool: PoolHandle,
+    cache: ResultCache,
+    jobs: Vec<Job>,
+    queue: VecDeque<usize>,
+    warm_start: bool,
+}
+
+impl JobEngine {
+    /// Creates an engine with its own pool per `config`.
+    pub fn new(config: &ServeConfig) -> Self {
+        JobEngine::with_pool(config, PoolHandle::new(config.workers))
+    }
+
+    /// Creates an engine on a shared pool handle (`config.workers` ignored).
+    pub fn with_pool(config: &ServeConfig, pool: PoolHandle) -> Self {
+        JobEngine {
+            pool,
+            cache: ResultCache::new(config.cache_capacity),
+            jobs: Vec::new(),
+            queue: VecDeque::new(),
+            warm_start: config.warm_start,
+        }
+    }
+
+    /// The engine's pool handle (clone it to share the pool).
+    pub fn pool(&self) -> &PoolHandle {
+        &self.pool
+    }
+
+    /// Result-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of jobs waiting for [`JobEngine::run_pending`].
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a job and returns its id.
+    pub fn submit(&mut self, request: JobRequest) -> JobId {
+        let id = self.jobs.len();
+        self.jobs.push(Job {
+            request,
+            state: JobState::Queued,
+            token: CancelToken::new(),
+        });
+        self.queue.push_back(id);
+        JobId(id)
+    }
+
+    /// The job's current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this engine.
+    pub fn state(&self, id: JobId) -> &JobState {
+        &self.jobs[id.0].state
+    }
+
+    /// The job's outcome, if it reached [`JobState::Done`].
+    pub fn outcome(&self, id: JobId) -> Option<&JobOutcome> {
+        match &self.jobs[id.0].state {
+            JobState::Done(outcome) => Some(outcome),
+            _ => None,
+        }
+    }
+
+    /// Raises the job's cancel token. A queued job resolves to
+    /// [`JobState::Cancelled`] when the queue next drains; a job already
+    /// running observes the token at its control's next poll and stops with
+    /// [`StopReason::Cancelled`] (landing in [`JobState::Done`] with its
+    /// best-so-far result).
+    pub fn cancel(&mut self, id: JobId) {
+        self.jobs[id.0].token.cancel();
+    }
+
+    /// Raises every unfinished job's cancel token.
+    pub fn cancel_all(&mut self) {
+        for job in &mut self.jobs {
+            if !job.state.is_terminal() {
+                job.token.cancel();
+            }
+        }
+    }
+
+    /// Drains the queue: answers exact-fingerprint hits from the cache,
+    /// shards the misses across the pool, and memoizes completed solves.
+    /// Returns the number of jobs that reached a terminal state.
+    ///
+    /// Duplicates *within* a batch are deduplicated too: only the first job
+    /// with a given fingerprint runs; the rest are held back and resolved
+    /// from the cache once it finishes (or run in a follow-up round if the
+    /// first run was interrupted and therefore not memoized).
+    pub fn run_pending(&mut self) -> usize {
+        let mut resolved = 0;
+        loop {
+            let batch: Vec<usize> = self.queue.drain(..).collect();
+            if batch.is_empty() {
+                return resolved;
+            }
+
+            // Phase 1 (serial, cheap): resolve cancellations and cache hits;
+            // collect the misses with their keys and warm-start hints. A
+            // repeat of a fingerprint already scheduled this round is pushed
+            // back onto the queue — the next round answers it from the cache.
+            let mut to_run: Vec<(usize, Fingerprint, Fingerprint, Option<Candidate>)> = Vec::new();
+            for id in batch {
+                if self.jobs[id].token.is_cancelled() {
+                    self.jobs[id].state = JobState::Cancelled;
+                    resolved += 1;
+                    continue;
+                }
+                let fingerprint = self.jobs[id].request.spec.fingerprint();
+                let topology = self.jobs[id].request.spec.topology_fingerprint();
+                if let Some(cached) = self.cache.get(fingerprint) {
+                    self.jobs[id].state = JobState::Done(JobOutcome {
+                        result: cached.result.clone(),
+                        cache_hit: true,
+                        warm_started: false,
+                        fingerprint,
+                    });
+                    resolved += 1;
+                    continue;
+                }
+                if to_run.iter().any(|(_, fp, _, _)| *fp == fingerprint) {
+                    self.queue.push_back(id);
+                    continue;
+                }
+                let warm = if self.warm_start {
+                    self.cache.warm_hint(topology)
+                } else {
+                    None
+                };
+                self.jobs[id].state = JobState::Running;
+                to_run.push((id, fingerprint, topology, warm));
+            }
+
+            self.run_batch(&mut resolved, to_run);
+        }
+    }
+
+    /// Phases 2 and 3 of one [`JobEngine::run_pending`] round: shard the
+    /// misses across the pool, then fold outcomes into job states and the
+    /// cache.
+    fn run_batch(
+        &mut self,
+        resolved: &mut usize,
+        to_run: Vec<(usize, Fingerprint, Fingerprint, Option<Candidate>)>,
+    ) {
+        if !to_run.is_empty() {
+            // Phase 2 (sharded): one work item per miss. Jobs carry
+            // heterogeneous circuits, so there is no shareable evaluator
+            // state — each solve builds its own Problem/CostCache internally
+            // and the per-worker state is unit.
+            let work: Vec<_> = to_run
+                .iter()
+                .map(|(id, _, _, warm)| {
+                    (
+                        self.jobs[*id].request.spec.clone(),
+                        self.jobs[*id].request.deadline,
+                        self.jobs[*id].request.budget,
+                        self.jobs[*id].token.clone(),
+                        warm.clone(),
+                    )
+                })
+                .collect();
+            let workers = self.pool.workers().min(work.len()).max(1);
+            let mut states = vec![(); workers];
+            let never = CancelToken::new();
+            let outcomes = self.pool.map_scoped_cancellable(
+                &work,
+                &mut states,
+                &never,
+                |_state, (spec, deadline, budget, token, warm)| {
+                    if token.is_cancelled() {
+                        return (ChainOutcome::Skipped, None, false);
+                    }
+                    let mut control = RunControl::unbounded().with_cancel_token(token.clone());
+                    if let Some(after) = *deadline {
+                        control = control.with_deadline(after);
+                    }
+                    if let Some(evals) = *budget {
+                        control = control.with_budget(evals);
+                    }
+                    let warm_started = warm.is_some();
+                    match catch_unwind(AssertUnwindSafe(|| {
+                        spec.solver
+                            .run_controlled_seeded(&spec.circuit, spec.seed, &control, warm.as_ref())
+                    })) {
+                        Ok((result, best)) => (ChainOutcome::Finished(result), best, warm_started),
+                        Err(payload) => (
+                            ChainOutcome::Panicked(panic_payload_message(payload)),
+                            None,
+                            false,
+                        ),
+                    }
+                },
+            );
+
+            // Phase 3 (serial): fold outcomes back into job states and the
+            // cache.
+            for ((id, fingerprint, topology, _), slot) in to_run.into_iter().zip(outcomes) {
+                let state = match slot {
+                    Some((ChainOutcome::Finished(result), best, warm_started)) => {
+                        if result.stop == StopReason::Completed {
+                            self.cache
+                                .insert(fingerprint, topology, CachedSolve {
+                                    result: result.clone(),
+                                    best,
+                                });
+                        }
+                        JobState::Done(JobOutcome {
+                            result,
+                            cache_hit: false,
+                            warm_started,
+                            fingerprint,
+                        })
+                    }
+                    Some((ChainOutcome::Panicked(message), _, _)) => JobState::Failed(message),
+                    Some((ChainOutcome::Skipped, _, _)) | None => JobState::Cancelled,
+                };
+                self.jobs[id].state = state;
+                *resolved += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afp_circuit::generators;
+    use afp_metaheuristics::{Baseline, GaConfig, SaConfig};
+
+    fn sa_spec(seed: u64) -> JobSpec {
+        JobSpec::new(generators::ota5(), Baseline::Sa(SaConfig::small()), seed)
+    }
+
+    fn engine(workers: usize) -> JobEngine {
+        JobEngine::new(&ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn exact_repeat_is_a_bit_identical_cache_hit() {
+        let mut engine = engine(2);
+        let cold = engine.submit(JobRequest::new(sa_spec(7)));
+        let hot = engine.submit(JobRequest::new(sa_spec(7)));
+        engine.run_pending();
+
+        let cold = engine.outcome(cold).expect("cold done").clone();
+        let hot = engine.outcome(hot).expect("hot done").clone();
+        assert!(!cold.cache_hit);
+        assert!(hot.cache_hit);
+        assert_eq!(cold.fingerprint, hot.fingerprint);
+        assert_eq!(cold.result.reward.to_bits(), hot.result.reward.to_bits());
+        assert_eq!(cold.result.floorplan, hot.result.floorplan);
+        assert_eq!(cold.result.evaluations, hot.result.evaluations);
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_eq!(engine.cache_stats().insertions, 1);
+    }
+
+    #[test]
+    fn cache_hits_survive_across_batches() {
+        let mut engine = engine(1);
+        let first = engine.submit(JobRequest::new(sa_spec(3)));
+        engine.run_pending();
+        let second = engine.submit(JobRequest::new(sa_spec(3)));
+        engine.run_pending();
+        let first = engine.outcome(first).unwrap().clone();
+        let second = engine.outcome(second).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(
+            first.result.reward.to_bits(),
+            second.result.reward.to_bits()
+        );
+    }
+
+    #[test]
+    fn near_identical_requests_are_warm_started() {
+        let mut engine = engine(1);
+        engine.submit(JobRequest::new(sa_spec(3)));
+        engine.run_pending();
+
+        // Same topology, perturbed sizing: a miss, but warm-started.
+        let mut resized = sa_spec(3);
+        resized.circuit.blocks[0].area_um2 *= 1.05;
+        let warm = engine.submit(JobRequest::new(resized));
+        engine.run_pending();
+        let outcome = engine.outcome(warm).expect("done");
+        assert!(!outcome.cache_hit);
+        assert!(outcome.warm_started);
+        assert_eq!(engine.cache_stats().warm_seeds, 1);
+        assert_eq!(
+            outcome.result.floorplan.num_placed(),
+            generators::ota5().num_blocks()
+        );
+    }
+
+    #[test]
+    fn warm_start_can_be_disabled() {
+        let mut engine = JobEngine::new(&ServeConfig {
+            workers: 1,
+            warm_start: false,
+            ..ServeConfig::default()
+        });
+        engine.submit(JobRequest::new(sa_spec(3)));
+        engine.run_pending();
+        let mut resized = sa_spec(3);
+        resized.circuit.blocks[0].area_um2 *= 1.05;
+        let cold = engine.submit(JobRequest::new(resized));
+        engine.run_pending();
+        assert!(!engine.outcome(cold).unwrap().warm_started);
+        assert_eq!(engine.cache_stats().warm_seeds, 0);
+    }
+
+    #[test]
+    fn queued_jobs_cancel_before_running() {
+        let mut engine = engine(1);
+        let keep = engine.submit(JobRequest::new(sa_spec(1)));
+        let drop = engine.submit(JobRequest::new(sa_spec(2)));
+        engine.cancel(drop);
+        assert!(matches!(engine.state(drop), JobState::Queued));
+        engine.run_pending();
+        assert!(matches!(engine.state(drop), JobState::Cancelled));
+        assert!(matches!(engine.state(keep), JobState::Done(_)));
+        // A cancelled job must not poison the cache.
+        assert_eq!(engine.cache_stats().insertions, 1);
+    }
+
+    #[test]
+    fn deadline_limited_jobs_finish_but_are_not_memoized() {
+        let mut engine = engine(1);
+        let spec = JobSpec::new(
+            generators::ota5(),
+            Baseline::Sa(SaConfig {
+                iterations: 2_000_000,
+                ..SaConfig::small()
+            }),
+            1,
+        );
+        let id = engine.submit(JobRequest {
+            spec: spec.clone(),
+            deadline: Some(Duration::from_millis(5)),
+            budget: None,
+        });
+        engine.run_pending();
+        let outcome = engine.outcome(id).expect("done");
+        assert_eq!(outcome.result.stop, StopReason::Deadline);
+        assert_eq!(engine.cache_stats().insertions, 0);
+        // A repeat of the same spec is therefore a miss, not a hit serving
+        // the truncated result.
+        let again = engine.submit(JobRequest {
+            spec,
+            deadline: Some(Duration::from_millis(5)),
+            budget: None,
+        });
+        engine.run_pending();
+        assert!(!engine.outcome(again).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn budget_limited_jobs_report_budget_stop() {
+        let mut engine = engine(1);
+        let id = engine.submit(JobRequest {
+            spec: sa_spec(1),
+            deadline: None,
+            budget: Some(10),
+        });
+        engine.run_pending();
+        let outcome = engine.outcome(id).expect("done");
+        assert_eq!(outcome.result.stop, StopReason::Budget);
+    }
+
+    #[test]
+    fn heterogeneous_batch_matches_individual_runs() {
+        // Jobs sharded across workers must equal the same solves run alone.
+        let mut engine = engine(4);
+        let specs = vec![
+            sa_spec(1),
+            JobSpec::new(generators::ota3(), Baseline::Sa(SaConfig::small()), 2),
+            JobSpec::new(generators::ota5(), Baseline::Ga(GaConfig::small()), 3),
+            sa_spec(4),
+        ];
+        let ids: Vec<JobId> = specs
+            .iter()
+            .map(|s| engine.submit(JobRequest::new(s.clone())))
+            .collect();
+        engine.run_pending();
+        for (spec, id) in specs.iter().zip(ids) {
+            let alone = spec
+                .solver
+                .run_controlled_seeded(&spec.circuit, spec.seed, &RunControl::unbounded(), None)
+                .0;
+            let sharded = &engine.outcome(id).expect("done").result;
+            assert_eq!(alone.reward.to_bits(), sharded.reward.to_bits());
+            assert_eq!(alone.floorplan, sharded.floorplan);
+        }
+    }
+
+    #[test]
+    fn engines_share_a_pool_through_the_handle() {
+        let pool = PoolHandle::new(2);
+        let config = ServeConfig::default();
+        let mut a = JobEngine::with_pool(&config, pool.clone());
+        let mut b = JobEngine::with_pool(&config, pool.clone());
+        a.submit(JobRequest::new(sa_spec(1)));
+        b.submit(JobRequest::new(sa_spec(2)));
+        a.run_pending();
+        b.run_pending();
+        assert!(pool.stats().batches >= 2);
+    }
+
+    #[test]
+    fn a_panicking_job_fails_alone() {
+        // `moves_per_temperature: 0` makes SA's cooling schedule divide by
+        // zero; the healthy job beside it must still finish and be cached.
+        let mut engine = engine(2);
+        let bad = engine.submit(JobRequest::new(JobSpec::new(
+            generators::ota3(),
+            Baseline::Sa(SaConfig {
+                moves_per_temperature: 0,
+                ..SaConfig::small()
+            }),
+            1,
+        )));
+        let good = engine.submit(JobRequest::new(sa_spec(1)));
+        engine.run_pending();
+        assert!(matches!(engine.state(bad), JobState::Failed(_)));
+        assert!(matches!(engine.state(good), JobState::Done(_)));
+        assert_eq!(engine.cache_stats().insertions, 1);
+    }
+}

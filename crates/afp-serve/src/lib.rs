@@ -1,0 +1,71 @@
+//! # afp-serve — floorplanning as a service
+//!
+//! The serve layer turns the repository's optimizer stack into a solve
+//! *service*: callers submit jobs, the engine answers repeats from a cache
+//! and shards the rest across a persistent worker pool. Three pieces:
+//!
+//! * [`fingerprint`] — the canonical problem [`Fingerprint`]: a 128-bit
+//!   structural hash over netlist topology, shape tables, constraint set,
+//!   optimizer configuration, and seed. Canonicalization (names excluded,
+//!   unordered collections sorted, floats bit-normalized, non-semantic knobs
+//!   dropped) guarantees that two [`JobSpec`]s hash equal exactly when their
+//!   solves are bit-identical.
+//! * [`cache`] — the content-addressed [`ResultCache`]: bounded,
+//!   LRU-evicting, with hit/miss/eviction counters ([`CacheStats`]). Exact
+//!   fingerprint hits return the memoized [`BaselineResult`] verbatim;
+//!   near-identical requests (same topology fingerprint) are seeded from the
+//!   cached winner's layout.
+//! * [`engine`] — the [`JobEngine`]: typed job lifecycle
+//!   ([`JobState`]: Queued → Running → Done/Cancelled/Failed), per-job
+//!   [`RunControl`](afp_metaheuristics::RunControl) (deadline, budget,
+//!   cancel token), per-job panic isolation
+//!   via the multi-start races' `ChainOutcome` machinery, and batch execution
+//!   sharded over a process-wide [`afp_par::PoolHandle`].
+//!
+//! The whole design leans on one property of the layers below: every solver
+//! is deterministic for its inputs, at any worker count. That is what makes
+//! a cached result a *correct* answer — not a stale approximation — for any
+//! future request with the same fingerprint. The engine protects the
+//! contract by memoizing only runs that stopped with
+//! [`StopReason::Completed`](afp_metaheuristics::StopReason): a
+//! deadline-truncated best-so-far is never served for a repeat. Warm starts
+//! trade a little of this purity for quality (results then depend on what
+//! the engine solved earlier) and can be disabled per engine
+//! ([`ServeConfig::warm_start`]). See `ARCHITECTURE.md` § "The serve layer"
+//! for the full determinism argument and `docs/TUNING.md` for the cache and
+//! concurrency knobs.
+//!
+//! # Example
+//!
+//! ```
+//! use afp_circuit::generators;
+//! use afp_metaheuristics::{Baseline, SaConfig};
+//! use afp_serve::{JobEngine, JobRequest, JobSpec, ServeConfig};
+//!
+//! let mut engine = JobEngine::new(&ServeConfig { workers: 2, ..Default::default() });
+//! let spec = JobSpec::new(generators::ota3(), Baseline::Sa(SaConfig::small()), 7);
+//! let cold = engine.submit(JobRequest::new(spec.clone()));
+//! let hot = engine.submit(JobRequest::new(spec));
+//! engine.run_pending();
+//!
+//! let cold = engine.outcome(cold).unwrap();
+//! let hot = engine.outcome(hot).unwrap();
+//! assert!(hot.cache_hit && !cold.cache_hit);
+//! assert_eq!(cold.result.reward.to_bits(), hot.result.reward.to_bits());
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod engine;
+pub mod fingerprint;
+
+pub use cache::{CacheStats, CachedSolve, ResultCache};
+pub use engine::{JobEngine, JobId, JobOutcome, JobRequest, JobState, ServeConfig};
+pub use fingerprint::{Fingerprint, FingerprintHasher, JobSpec};
+
+// Re-exported so example code and downstream callers can name the result
+// type without depending on afp-metaheuristics directly.
+pub use afp_metaheuristics::BaselineResult;

@@ -26,20 +26,24 @@ for diff_test in \
     incremental_metrics_match_full_rescan_oracle \
     eval_pool_matches_serial_cost_cached \
     multistart_sa_matches_serial_replay \
-    sa_with_generous_deadline_replays_the_unbounded_run; do
+    sa_with_generous_deadline_replays_the_unbounded_run \
+    serve_fingerprints_are_injective_and_canonical \
+    serve_cache_hit_replays_the_cold_solve_bit_for_bit; do
     diff_out="$(cargo test --test properties "$diff_test" 2>&1)" \
         || { echo "$diff_out"; exit 1; }
     echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
         || { echo "ci: differential proptest filter '$diff_test' matched no tests" >&2; exit 1; }
 done
-# The EvalPool and multi-start differential proptests once more under each
-# oracle feature (the root manifest forwards them to afp-metaheuristics), so
-# the pool's worker caches are exercised against the full-rebuild realization
-# and full-rescan metrics paths too — a layer-5 bug that only shows against
-# an oracle default would otherwise hide behind the incremental defaults
-# above.
+# The EvalPool, multi-start and serve differential proptests once more under
+# each oracle feature (the root manifest forwards them to afp-metaheuristics
+# and afp-serve), so the pool's worker caches — and the serve layer's
+# memoization contract — are exercised against the full-rebuild realization
+# and full-rescan metrics paths too — a bug that only shows against an
+# oracle default would otherwise hide behind the incremental defaults above.
 for oracle_feature in full-realize full-metrics; do
-    for pool_test in eval_pool_matches_serial_cost_cached multistart_sa_matches_serial_replay; do
+    for pool_test in eval_pool_matches_serial_cost_cached \
+        multistart_sa_matches_serial_replay \
+        serve_cache_hit_replays_the_cold_solve_bit_for_bit; do
         diff_out="$(cargo test --test properties "$pool_test" \
             --features "$oracle_feature" 2>&1)" \
             || { echo "$diff_out"; exit 1; }
@@ -93,7 +97,7 @@ import json, sys
 with open(sys.argv[1]) as f:
     snap = json.load(f)
 for section in ("pack", "snap", "masks", "incremental_realize", "eval_pool",
-                "pool_overhead", "multistart", "sa_locality", "sa"):
+                "pool_overhead", "multistart", "serve", "sa_locality", "sa"):
     assert section in snap, f"missing snapshot section: {section}"
 inc = snap["incremental_realize"]
 for key in ("incremental_move_ns", "incremental_realize_full_metrics_move_ns",
@@ -136,6 +140,24 @@ for key in ("chains", "chain_iterations", "workers1_ns", "workers2_ns",
 assert ms["bit_identical"] is True, "multistart bit-identity check not recorded"
 assert ms["workers1_chains_per_sec"] > 0.0, "nonsensical multistart throughput"
 assert ms["workers2_chains_per_sec"] > 0.0, "nonsensical multistart throughput"
+serve = snap["serve"]
+for key in ("cold_solve_ns", "cache_hit_ns", "hit_speedup", "batch_jobs",
+            "jobs_per_sec_workers1", "jobs_per_sec_workers2",
+            "jobs_per_sec_workers4", "bit_identical"):
+    assert key in serve, f"missing serve key: {key}"
+# Same convention again: bench_snapshot asserts the memoized result is
+# bit-identical to the cold solve before timing anything, so a written
+# section with a true verdict proves the check passed. A cache hit that is
+# not dramatically cheaper than a cold solve means memoization is broken
+# (the hit path re-solved); 10x is far below the observed ~200x but far
+# above any plausible noise.
+assert serve["bit_identical"] is True, "serve bit-identity check not recorded"
+assert serve["cache_hit_ns"] > 0.0, "nonsensical serve hit latency"
+assert serve["cache_hit_ns"] * 10.0 < serve["cold_solve_ns"], \
+    "serve cache hit is not meaningfully cheaper than a cold solve"
+for key in ("jobs_per_sec_workers1", "jobs_per_sec_workers2",
+            "jobs_per_sec_workers4"):
+    assert serve[key] > 0.0, f"nonsensical serve throughput: {key}"
 loc = snap["sa_locality"]
 for key in ("locality_bias", "uniform_move_ns", "local_move_ns",
             "uniform_pack_replay_rate", "local_pack_replay_rate",

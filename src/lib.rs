@@ -20,6 +20,9 @@
 //! * [`afp_par`] — the persistent worker pool, run-control vocabulary
 //!   (deadlines, budgets, cancellation) and, under `fault-inject`, the
 //!   deterministic fault-injection harness.
+//! * [`afp_serve`] — floorplanning as a service: canonical problem
+//!   fingerprints, the content-addressed result cache, and the sharded,
+//!   cancellable job engine.
 
 pub use afp_circuit as circuit;
 pub use afp_core as core;
@@ -29,4 +32,5 @@ pub use afp_layout as layout;
 pub use afp_metaheuristics as metaheuristics;
 pub use afp_rl as rl;
 pub use afp_route as route;
+pub use afp_serve as serve;
 pub use afp_tensor as tensor;

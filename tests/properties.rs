@@ -952,3 +952,152 @@ mod fault_injection {
         }
     }
 }
+
+proptest! {
+    // Contract proptests of the serve layer (fingerprint + result cache +
+    // job engine): run by name in scripts/ci.sh under the default and both
+    // feature-gated oracle configurations, because memoized results are only
+    // safe to return if the solvers are bit-identical under every oracle.
+    // Fewer cases than the layer-5 blocks above: each case runs real solves.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fingerprint injectivity and canonicalization over the generator
+    /// families: specs that differ in circuit family, block sizing, solver
+    /// family, solver knobs, or seed must get distinct fingerprints, while
+    /// renaming every block/net/circuit and shuffling every unordered
+    /// collection (nets, pins, constraint internals) must not move the
+    /// fingerprint — and a sizing jitter must preserve the topology
+    /// fingerprint that keys warm starts.
+    #[test]
+    fn serve_fingerprints_are_injective_and_canonical(
+        seed in 0u64..1_000_000,
+        jitter in 0.01f64..0.25,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::circuit::Constraint;
+        use analog_floorplan::metaheuristics::{Baseline, GaConfig, SaConfig};
+        use analog_floorplan::serve::JobSpec;
+
+        let families = generators::dataset_families();
+        let mut specs: Vec<JobSpec> = Vec::new();
+        for base in &families {
+            // Same circuit under different seeds, solver families, and knobs.
+            specs.push(JobSpec::new(base.clone(), Baseline::Sa(SaConfig::small()), seed));
+            specs.push(JobSpec::new(base.clone(), Baseline::Sa(SaConfig::small()), seed ^ 1));
+            specs.push(JobSpec::new(base.clone(), Baseline::Ga(GaConfig::small()), seed));
+            let retuned = SaConfig { cooling: 0.77, ..SaConfig::small() };
+            specs.push(JobSpec::new(base.clone(), Baseline::Sa(retuned), seed));
+            // Same topology with jittered sizing.
+            let mut resized = base.clone();
+            for block in &mut resized.blocks {
+                block.area_um2 *= 1.0 + jitter;
+            }
+            specs.push(JobSpec::new(resized, Baseline::Sa(SaConfig::small()), seed));
+        }
+        let fps: Vec<_> = specs.iter().map(|s| s.fingerprint()).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                prop_assert!(fps[i] != fps[j], "specs {} and {} collided", i, j);
+            }
+        }
+
+        // The jittered variant keys the same warm-start topology as its base.
+        for pair in specs.chunks(5) {
+            prop_assert_eq!(
+                pair[0].topology_fingerprint(),
+                pair[4].topology_fingerprint(),
+                "sizing jitter moved the topology fingerprint"
+            );
+        }
+
+        // Canonicalization: renaming everything and reversing every
+        // unordered collection must not move either fingerprint.
+        for spec in &specs {
+            let mut scrambled = spec.clone();
+            scrambled.circuit.name = format!("{}-renamed", scrambled.circuit.name);
+            for block in &mut scrambled.circuit.blocks {
+                block.name = format!("b{}", block.id.index());
+            }
+            scrambled.circuit.nets.reverse();
+            for net in &mut scrambled.circuit.nets {
+                net.name = format!("n{}", net.id.index());
+                net.pins.reverse();
+            }
+            let mut constraints: Vec<Constraint> =
+                scrambled.circuit.constraints.iter().cloned().collect();
+            constraints.reverse();
+            for constraint in &mut constraints {
+                if let Constraint::Symmetry(group) = constraint {
+                    group.pairs.reverse();
+                    for p in &mut group.pairs {
+                        *p = (p.1, p.0);
+                    }
+                    group.self_symmetric.reverse();
+                }
+            }
+            scrambled.circuit.constraints = constraints.into_iter().collect();
+            prop_assert_eq!(spec.fingerprint(), scrambled.fingerprint());
+            prop_assert_eq!(spec.topology_fingerprint(), scrambled.topology_fingerprint());
+        }
+    }
+
+    /// The memoization contract end to end: at every worker count, a cold
+    /// solve through the engine is bit-identical to calling the baseline
+    /// directly, and an exact repeat submission is answered from the cache
+    /// with the very same bits — hit observable in the cache counters.
+    #[test]
+    fn serve_cache_hit_replays_the_cold_solve_bit_for_bit(
+        seed in 0u64..1_000_000,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::metaheuristics::{
+            Baseline, GaConfig, RunControl, SaConfig, StopReason,
+        };
+        use analog_floorplan::serve::{JobEngine, JobRequest, JobSpec, ServeConfig};
+
+        let circuit = match seed % 3 {
+            0 => generators::ota5(),
+            1 => generators::ota8(),
+            _ => generators::bias9(),
+        };
+        let solver = if seed % 2 == 0 {
+            Baseline::Sa(SaConfig { iterations: 90, ..SaConfig::small() })
+        } else {
+            Baseline::Ga(GaConfig { generations: 4, ..GaConfig::small() })
+        };
+        let spec = JobSpec::new(circuit, solver, seed);
+        let reference = spec
+            .solver
+            .run_controlled_seeded(&spec.circuit, spec.seed, &RunControl::unbounded(), None)
+            .0;
+        prop_assert_eq!(reference.stop, StopReason::Completed);
+
+        for workers in [1usize, 2, 4] {
+            let mut engine = JobEngine::new(&ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            });
+            let cold = engine.submit(JobRequest::new(spec.clone()));
+            let hot = engine.submit(JobRequest::new(spec.clone()));
+            engine.run_pending();
+
+            let cold = engine.outcome(cold).unwrap().clone();
+            let hot = engine.outcome(hot).unwrap().clone();
+            prop_assert!(!cold.cache_hit, "{} workers: first solve hit the cache", workers);
+            prop_assert!(hot.cache_hit, "{} workers: repeat missed the cache", workers);
+            for (label, r) in [("cold", &cold.result), ("hit", &hot.result)] {
+                prop_assert_eq!(
+                    r.reward.to_bits(),
+                    reference.reward.to_bits(),
+                    "{} workers: {} reward diverged from the direct run",
+                    workers, label
+                );
+                prop_assert_eq!(r.evaluations, reference.evaluations, "{}", label);
+                prop_assert_eq!(&r.floorplan, &reference.floorplan, "{}", label);
+            }
+            let stats = engine.cache_stats();
+            prop_assert_eq!(stats.hits, 1, "{} workers", workers);
+            prop_assert_eq!(stats.insertions, 1, "{} workers", workers);
+        }
+    }
+}
