@@ -14,7 +14,10 @@
 
 use std::time::Instant;
 
-use afp_bench::perf::{masks_workload, median_ns, random_pair, snap_workload, PACK_SIZES};
+use afp_bench::perf::{
+    masks_workload, median_ns, random_pair, snap_workload, synthetic_circuit, LARGE_N_SIZES,
+    PACK_SIZES,
+};
 use afp_circuit::generators;
 use afp_layout::masks::positional_masks;
 use afp_layout::sequence_pair::{realize_floorplan, PackedFloorplan};
@@ -343,6 +346,58 @@ fn main() {
         ));
     }
 
+    // Large-n workload tier: 200/500/1000-block synthetic circuits through
+    // the full incremental cost pipeline — multi-word occupancy grids
+    // (grid_side_for picks 64/96/128 cells per side) and spilled per-block /
+    // per-constraint metric masks. Each row records the warm per-move SA
+    // cost, a 6-candidate EvalPool generation, a 2-chain multi-start run,
+    // and the fallback tripwire (must read 0: the incremental engines never
+    // abandon their term state at any n).
+    let mut large_n_rows = Vec::new();
+    for &n in &LARGE_N_SIZES {
+        let circuit = synthetic_circuit(n);
+        let problem = Problem::new(&circuit);
+        let grid_side = problem.grid_side;
+        let mut cache = CostCache::new(&problem);
+        let mut rng = StdRng::seed_from_u64(0x1A26 ^ n as u64);
+        let mut walk = Candidate::random(problem.num_blocks(), &mut rng);
+        let sa_move_ns = median_ns(|| {
+            let _ = walk.perturb(&mut rng);
+            let _ = problem.cost_cached(&walk, &mut cache);
+        });
+        let generation: Vec<Candidate> = (0..6)
+            .map(|_| Candidate::random(problem.num_blocks(), &mut rng))
+            .collect();
+        let mut pool = EvalPool::new(&problem, 2);
+        let pool_generation_ns = median_ns(|| {
+            let _ = pool.evaluate(&problem, &generation);
+        });
+        let ms_cfg = MultistartSaConfig {
+            base: SaConfig {
+                iterations: 150,
+                seed: 0x5EED ^ n as u64,
+                ..SaConfig::small()
+            },
+            chains: 2,
+            workers: 2,
+        };
+        let multistart_ns = median_ns(|| {
+            let _ = multistart_sa(&circuit, &ms_cfg);
+        });
+        let fallback_rescans = cache.fallback_rescans() + pool.fallback_rescans();
+        println!(
+            "large_n n={n:>4}: grid {grid_side:>3}  sa {sa_move_ns:>10.1} ns/move  pool-gen {pool_generation_ns:>12.1} ns  multistart {:.1} ms  fallbacks {fallback_rescans}",
+            multistart_ns / 1e6,
+        );
+        large_n_rows.push(format!(
+            "    {{\"blocks\": {n}, \"grid_side\": {grid_side}, \"sa_move_ns\": {sa_move_ns:.1}, \"eval_pool_generation_ns\": {pool_generation_ns:.1}, \"multistart_ns\": {multistart_ns:.1}, \"fallback_rescans\": {fallback_rescans}}}"
+        ));
+        assert_eq!(
+            fallback_rescans, 0,
+            "incremental metrics fell back at n = {n}"
+        );
+    }
+
     // Positional-mask (f_p) construction from the free-anchor bitmask — the
     // per-step cost of the RL env and mask-dataset builds.
     let (mcircuit, mfp, mblock, mshapes) = masks_workload();
@@ -480,9 +535,10 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, parked WorkerPool dispatch overhead, multi-start SA, locality-aware SA move mix, the serve layer's result cache and job engine, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{pool_overhead_json},\n{multistart_json},\n{serve_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pack\",\n  \"description\": \"FAST-SP vs legacy relaxation packing; BitGrid grid realization (multi-word rows past 64 columns), the large-n workload tier, incremental dirty-block realization + dirty-set pack/metrics, positional masks; parallel EvalPool generation evaluation, parked WorkerPool dispatch overhead, multi-start SA, locality-aware SA move mix, the serve layer's result cache and job engine, and SA cost-evaluation throughput\",\n  \"pack\": [\n{}\n  ],\n  \"snap\": [\n{}\n  ],\n  \"large_n\": [\n{}\n  ],\n  \"masks\": {{\n    \"circuit\": \"{}\",\n    \"positional_masks_ns\": {:.1}\n  }},\n  \"incremental_realize\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"incremental_move_ns\": {:.1},\n    \"incremental_realize_full_metrics_move_ns\": {:.1},\n    \"full_move_ns\": {:.1},\n    \"speedup\": {:.2},\n    \"replay_hit_rate\": {:.3},\n    \"pack_replay_rate\": {:.3}\n  }},\n{eval_pool_json},\n{pool_overhead_json},\n{multistart_json},\n{serve_json},\n{sa_locality_json},\n  \"sa\": {{\n    \"circuit\": \"{}\",\n    \"blocks\": {},\n    \"iterations\": {},\n    \"evaluations\": {},\n    \"locality_bias\": {:.2},\n    \"seconds\": {:.4},\n    \"moves_per_sec\": {:.0}\n  }}\n}}\n",
         pack_rows.join(",\n"),
         snap_rows.join(",\n"),
+        large_n_rows.join(",\n"),
         mcircuit.name,
         masks_ns,
         circuit.name,

@@ -91,8 +91,7 @@ pub fn greedy_floorplan(circuit: &Circuit) -> Floorplan {
             // One bitboard anchor pass; the first set bit in row-major order
             // is the same cell the old per-cell fits scan found.
             let anchors = floorplan.grid().free_anchors(gw, gh);
-            if let Some((y, &row)) = anchors.iter().enumerate().find(|(_, &r)| r != 0) {
-                let cell = Cell::new(row.trailing_zeros() as usize, y);
+            if let Some(cell) = anchors.first_set() {
                 best = Some((f64::MAX, shapes.most_square(), cell));
             }
         }

@@ -13,24 +13,25 @@ use crate::rect::Rect;
 /// Renders a floorplan as ASCII art: each placed block is drawn with a letter
 /// (`A`, `B`, …) on the 32×32 grid, empty cells as `.`.
 pub fn ascii_floorplan(floorplan: &Floorplan) -> String {
-    let mut grid = vec![b'.'; GRID_SIZE * GRID_SIZE];
+    let side = floorplan.grid_side();
+    let mut grid = vec![b'.'; side * side];
     for (i, placed) in floorplan.placed().iter().enumerate() {
         let letter = b'A' + (i % 26) as u8;
         for dy in 0..placed.grid_h {
             for dx in 0..placed.grid_w {
                 let x = placed.cell.x + dx;
                 let y = placed.cell.y + dy;
-                if x < GRID_SIZE && y < GRID_SIZE {
-                    grid[y * GRID_SIZE + x] = letter;
+                if x < side && y < side {
+                    grid[y * side + x] = letter;
                 }
             }
         }
     }
-    let mut out = String::with_capacity((GRID_SIZE + 1) * GRID_SIZE);
+    let mut out = String::with_capacity((side + 1) * side);
     // Render with the origin at the bottom-left, like the paper's figures.
-    for y in (0..GRID_SIZE).rev() {
-        for x in 0..GRID_SIZE {
-            out.push(grid[y * GRID_SIZE + x] as char);
+    for y in (0..side).rev() {
+        for x in 0..side {
+            out.push(grid[y * side + x] as char);
         }
         out.push('\n');
     }

@@ -63,11 +63,8 @@ fn anchors_into_mask(
 ) -> Mask {
     let anchors = floorplan.grid().free_anchors(gw, gh);
     let mut mask = vec![0.0f32; GRID_SIZE * GRID_SIZE];
-    for (y, &row) in anchors.iter().enumerate() {
-        let mut bits = row;
-        while bits != 0 {
-            let x = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+    for y in 0..anchors.height() {
+        for x in anchors.iter_row(y) {
             let idx = y * GRID_SIZE + x;
             if constraints[idx] == 1.0 {
                 mask[idx] = 1.0;
@@ -146,11 +143,8 @@ where
     // One anchor pass marks every admissible cell; the metric is evaluated
     // only on set bits instead of probing all 1024 footprints.
     let anchors = floorplan.grid().free_anchors(gw, gh);
-    for (y, &row) in anchors.iter().enumerate() {
-        let mut bits = row;
-        while bits != 0 {
-            let x = bits.trailing_zeros() as usize;
-            bits &= bits - 1;
+    for y in 0..anchors.height() {
+        for x in anchors.iter_row(y) {
             let cell = Cell::new(x, y);
             if scratch.place(block, 0, *shape, cell).is_err() {
                 continue;

@@ -86,10 +86,11 @@ pub struct MetricsScratch {
     net_adj_off: Vec<u32>,
     net_adj: Vec<u32>,
     /// `block_con_mask[b]` = bitmask of constraint indices involving block
-    /// `b`. Constraint and pending bookkeeping are `u64` bitmasks — the
-    /// reason for the [`MetricsScratch::supports_incremental`] bound — so a
-    /// penalized episode's bookkeeping is a handful of OR/AND-NOT ops.
-    block_con_mask: Vec<u64>,
+    /// `b`. Constraint and pending bookkeeping are [`DynMask`] bitsets — one
+    /// inline `u64` word for every paper-scale circuit, spilled words past 64
+    /// — so a penalized episode's bookkeeping is a handful of OR/AND-NOT ops
+    /// at any circuit size.
+    block_con_mask: Vec<DynMask>,
     /// Fingerprint the adjacency was built for: (blocks, nets, constraints).
     adj_key: Option<(usize, usize, usize)>,
     /// Nets whose cached term is stale (a pin's center changed since it was
@@ -100,13 +101,13 @@ pub struct MetricsScratch {
     stale_nets: Vec<u32>,
     /// Cached violation flags, one bit per constraint; a bit is only
     /// meaningful while its `con_stale_mask` bit is clear.
-    violated_mask: u64,
+    violated_mask: DynMask,
     /// Constraints whose cached flag is stale (a member was reported dirty).
     /// Also lazy: the violation gate first looks for a standing violation
     /// among non-stale constraints (one mask op) and only then rechecks,
     /// early-outing on the first violation — the rest stay stale and
     /// accumulate, exactly like the net terms.
-    con_stale_mask: u64,
+    con_stale_mask: DynMask,
     /// The constraint the gate last found violated. Rechecked first on the
     /// next flush: violations persist across episodes, so this usually
     /// answers the gate with a single predicate evaluation.
@@ -116,7 +117,110 @@ pub struct MetricsScratch {
     /// Penalized episodes only OR bits in here — the floorplan is not even
     /// read for them — and [`MetricsScratch::resolve_pending`] settles the
     /// accumulation when a feasible episode needs the wirelength.
-    pending_mask: u64,
+    pending_mask: DynMask,
+    /// Swap buffer for [`MetricsScratch::resolve_pending`], kept zeroed so
+    /// the walk never reallocates spilled words.
+    pending_scratch: DynMask,
+    /// Incremental evaluations that had to abandon the incremental engine
+    /// and re-derive every term with the full rescan because the scratch
+    /// could not represent the circuit. The historical `u64` bookkeeping
+    /// silently fell back past 64 blocks/constraints; with `DynMask`
+    /// bitsets no such representation limit exists, so this counter reads 0
+    /// at every circuit size — it is retained as the observable tripwire
+    /// that would expose any future capacity cliff.
+    pub fallback_rescans: u64,
+}
+
+/// Growable bitset with one inline word: bits 0–63 live in `head` (no heap
+/// traffic for every paper-scale circuit), higher bits spill to `tail` words.
+/// `tail` never shrinks, so a warm scratch's mask ops stay allocation-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct DynMask {
+    head: u64,
+    tail: Vec<u64>,
+}
+
+impl DynMask {
+    /// Zeroes every bit, keeping spilled capacity.
+    fn clear(&mut self) {
+        self.head = 0;
+        self.tail.iter_mut().for_each(|w| *w = 0);
+    }
+
+    #[inline]
+    fn word(&self, wi: usize) -> u64 {
+        if wi == 0 {
+            self.head
+        } else {
+            self.tail.get(wi - 1).copied().unwrap_or(0)
+        }
+    }
+
+    #[inline]
+    fn word_mut(&mut self, wi: usize) -> &mut u64 {
+        if wi == 0 {
+            &mut self.head
+        } else {
+            if self.tail.len() < wi {
+                self.tail.resize(wi, 0);
+            }
+            &mut self.tail[wi - 1]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, bit: usize) {
+        *self.word_mut(bit / 64) |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, bit: usize) {
+        *self.word_mut(bit / 64) &= !(1u64 << (bit % 64));
+    }
+
+    #[inline]
+    fn get(&self, bit: usize) -> bool {
+        (self.word(bit / 64) >> (bit % 64)) & 1 == 1
+    }
+
+    fn count_ones(&self) -> usize {
+        self.head.count_ones() as usize
+            + self.tail.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+    }
+
+    /// The lowest set bit, or `None` when empty.
+    fn first_set(&self) -> Option<usize> {
+        if self.head != 0 {
+            return Some(self.head.trailing_zeros() as usize);
+        }
+        self.tail
+            .iter()
+            .position(|&w| w != 0)
+            .map(|i| (i + 1) * 64 + self.tail[i].trailing_zeros() as usize)
+    }
+
+    /// `self |= other`, growing the spill as needed.
+    fn or_assign(&mut self, other: &DynMask) {
+        self.head |= other.head;
+        if self.tail.len() < other.tail.len() {
+            self.tail.resize(other.tail.len(), 0);
+        }
+        for (t, &o) in self.tail.iter_mut().zip(&other.tail) {
+            *t |= o;
+        }
+    }
+
+    /// Whether any bit is set in `self` but not in `other` — the
+    /// "standing violation among non-stale constraints" gate.
+    fn any_and_not(&self, other: &DynMask) -> bool {
+        if self.head & !other.head != 0 {
+            return true;
+        }
+        self.tail
+            .iter()
+            .enumerate()
+            .any(|(i, &w)| w & !other.tail.get(i).copied().unwrap_or(0) != 0)
+    }
 }
 
 /// The dirty-block interface between the incremental realization engine and
@@ -137,15 +241,6 @@ impl MetricsScratch {
     /// Creates an empty scratch; the buffer grows on first use.
     pub fn new() -> Self {
         MetricsScratch::default()
-    }
-
-    /// Whether the incremental term engine handles this circuit: block and
-    /// constraint bookkeeping are `u64` bitmasks, so both counts must fit in
-    /// 64 (every circuit in the paper is ≤ 19 blocks). Beyond that,
-    /// [`metrics_incremental`] / [`episode_reward_incremental`] transparently
-    /// delegate to the full-rescan path — correct, just not incremental.
-    pub fn supports_incremental(circuit: &Circuit) -> bool {
-        circuit.num_blocks() <= 64 && circuit.constraints.len() <= 64
     }
 
     /// Drops the incremental term state, forcing the next incremental
@@ -177,9 +272,9 @@ impl MetricsScratch {
     }
 
     /// (Re)builds the block → net / constraint adjacency when the circuit
-    /// shape changed; returns `true` if the term state was dropped. Callers
-    /// have checked [`MetricsScratch::supports_incremental`], so every
-    /// constraint index fits in the `u64` masks.
+    /// shape changed; returns `true` if the term state was dropped. The
+    /// [`DynMask`] bookkeeping grows with the constraint count, so any
+    /// circuit size is representable.
     fn ensure_adjacency(&mut self, circuit: &Circuit) -> bool {
         let key = (
             circuit.num_blocks(),
@@ -206,21 +301,21 @@ impl MetricsScratch {
             self.net_adj_off.push(self.net_adj.len() as u32);
         }
         self.block_con_mask.clear();
-        self.block_con_mask.resize(nb, 0);
+        self.block_con_mask.resize(nb, DynMask::default());
         for (ci, constraint) in circuit.constraints.iter().enumerate() {
             for block in constraint.members() {
                 if block.index() < nb {
-                    self.block_con_mask[block.index()] |= 1u64 << ci;
+                    self.block_con_mask[block.index()].set(ci);
                 }
             }
         }
         self.net_stale.clear();
         self.net_stale.resize(nn, false);
         self.stale_nets.clear();
-        self.violated_mask = 0;
-        self.con_stale_mask = 0;
+        self.violated_mask.clear();
+        self.con_stale_mask.clear();
         self.last_violated = None;
-        self.pending_mask = 0;
+        self.pending_mask.clear();
         self.adj_key = Some(key);
         self.inc_valid = false;
         true
@@ -240,12 +335,14 @@ impl MetricsScratch {
             self.net_stale[self.stale_nets[k] as usize] = false;
         }
         self.stale_nets.clear();
-        self.violated_mask = 0;
+        self.violated_mask.clear();
         for (ci, constraint) in circuit.constraints.iter().enumerate() {
-            self.violated_mask |= (is_violated(floorplan, constraint) as u64) << ci;
+            if is_violated(floorplan, constraint) {
+                self.violated_mask.set(ci);
+            }
         }
-        self.con_stale_mask = 0;
-        self.pending_mask = 0;
+        self.con_stale_mask.clear();
+        self.pending_mask.clear();
         self.inc_valid = true;
     }
 
@@ -261,8 +358,8 @@ impl MetricsScratch {
             if bi >= nb {
                 continue;
             }
-            self.pending_mask |= 1u64 << bi;
-            self.con_stale_mask |= self.block_con_mask[bi];
+            self.pending_mask.set(bi);
+            self.con_stale_mask.or_assign(&self.block_con_mask[bi]);
         }
     }
 
@@ -270,11 +367,11 @@ impl MetricsScratch {
     /// refreshes the placement records of blocks that actually changed and
     /// marks their incident nets stale for [`MetricsScratch::flush_stale_terms`].
     fn resolve_pending(&mut self, floorplan: &Floorplan) {
-        let mut pending = self.pending_mask;
-        self.pending_mask = 0;
-        while pending != 0 {
-            let bi = pending.trailing_zeros() as usize;
-            pending &= pending - 1;
+        // Walk through the zeroed swap buffer so the pending mask's spilled
+        // words are retained (the walk leaves the buffer zero again).
+        std::mem::swap(&mut self.pending_mask, &mut self.pending_scratch);
+        while let Some(bi) = self.pending_scratch.first_set() {
+            self.pending_scratch.clear_bit(bi);
             let center = floorplan.block_center(BlockId(bi));
             if center == self.centers[bi] {
                 // Same center as when the terms were last resolved (or
@@ -311,13 +408,12 @@ impl MetricsScratch {
             .get(ci as usize)
             .expect("constraint index from adjacency mask");
         let violated = is_violated(floorplan, constraint);
-        let bit = 1u64 << ci;
-        self.con_stale_mask &= !bit;
+        self.con_stale_mask.clear_bit(ci as usize);
         if violated {
-            self.violated_mask |= bit;
+            self.violated_mask.set(ci as usize);
             self.last_violated = Some(ci);
         } else {
-            self.violated_mask &= !bit;
+            self.violated_mask.clear_bit(ci as usize);
         }
         violated
     }
@@ -328,19 +424,18 @@ impl MetricsScratch {
     /// (most recent offender first), early-outing on the first violation —
     /// the remainder stay stale and accumulate, exactly like the net terms.
     fn any_violation(&mut self, circuit: &Circuit, floorplan: &Floorplan) -> bool {
-        if self.violated_mask & !self.con_stale_mask != 0 {
+        if self.violated_mask.any_and_not(&self.con_stale_mask) {
             return true;
         }
         if let Some(lv) = self.last_violated {
-            if self.con_stale_mask >> lv & 1 == 1
+            if self.con_stale_mask.get(lv as usize)
                 && self.recheck_constraint(circuit, floorplan, lv)
             {
                 return true;
             }
         }
-        while self.con_stale_mask != 0 {
-            let ci = self.con_stale_mask.trailing_zeros();
-            if self.recheck_constraint(circuit, floorplan, ci) {
+        while let Some(ci) = self.con_stale_mask.first_set() {
+            if self.recheck_constraint(circuit, floorplan, ci as u32) {
                 return true;
             }
         }
@@ -349,9 +444,8 @@ impl MetricsScratch {
 
     /// Resolves *all* stale constraints, making the violation count exact.
     fn flush_stale_constraints(&mut self, circuit: &Circuit, floorplan: &Floorplan) {
-        while self.con_stale_mask != 0 {
-            let ci = self.con_stale_mask.trailing_zeros();
-            let _ = self.recheck_constraint(circuit, floorplan, ci);
+        while let Some(ci) = self.con_stale_mask.first_set() {
+            let _ = self.recheck_constraint(circuit, floorplan, ci as u32);
         }
     }
 }
@@ -563,16 +657,11 @@ pub fn metrics_incremental(
     scratch: &mut MetricsScratch,
     dirty: DirtySet<'_>,
 ) -> (FloorplanMetrics, usize) {
-    if !MetricsScratch::supports_incremental(circuit) {
-        // Oversized circuit: transparently fall back to the full rescan.
-        let m = metrics_with(circuit, floorplan, scratch);
-        return (m, crate::constraints::count_violations(circuit, floorplan));
-    }
     update_terms(circuit, floorplan, scratch, dirty);
     scratch.flush_stale_constraints(circuit, floorplan);
     scratch.resolve_pending(floorplan);
     scratch.flush_stale_terms(circuit);
-    let violations = scratch.violated_mask.count_ones() as usize;
+    let violations = scratch.violated_mask.count_ones();
     (reduce_metrics(floorplan, scratch), violations)
 }
 
@@ -630,10 +719,6 @@ pub fn episode_reward_incremental(
     scratch: &mut MetricsScratch,
     dirty: DirtySet<'_>,
 ) -> f64 {
-    if !MetricsScratch::supports_incremental(circuit) {
-        // Oversized circuit: transparently fall back to the full rescan.
-        return episode_reward_with(circuit, floorplan, hpwl_min, weights, scratch);
-    }
     update_terms(circuit, floorplan, scratch, dirty);
     if floorplan.num_placed() < circuit.num_blocks()
         || scratch.any_violation(circuit, floorplan)
@@ -897,9 +982,10 @@ mod tests {
     }
 
     #[test]
-    fn oversized_circuits_fall_back_to_the_full_rescan() {
-        // The incremental engine's bookkeeping is u64 bitmasks; circuits
-        // beyond 64 blocks must transparently delegate to the full rescan.
+    fn large_circuits_run_incrementally_with_zero_fallbacks() {
+        // The incremental bookkeeping is spillable bitsets; circuits beyond
+        // 64 blocks run the same dirty-tracking path as small ones, with no
+        // silent full-rescan cliff. `fallback_rescans` is the tripwire.
         let mut builder = Circuit::builder("big");
         for i in 0..70 {
             builder = builder.block(&format!("B{i}"), BlockKind::CurrentMirror, 4.0, 2);
@@ -912,23 +998,36 @@ mod tests {
             );
         }
         let c = builder.build().unwrap();
-        assert!(!MetricsScratch::supports_incremental(&c));
         let mut fp = Floorplan::new(Canvas::new(32.0, 32.0));
         for i in 0..70 {
             fp.place(BlockId(i), 0, Shape::new(2.0, 2.0), Cell::new((i % 16) * 2, (i / 16) * 2))
                 .unwrap();
         }
         let mut scratch = MetricsScratch::new();
-        let (m, violations) =
-            metrics_incremental(&c, &fp, &mut scratch, DirtySet::Blocks(&[3]));
+        let (m, violations) = metrics_incremental(&c, &fp, &mut scratch, DirtySet::Full);
         assert_eq!(m, metrics(&c, &fp));
         assert_eq!(violations, 0);
+        // Move a block past the 64-bit boundary index and verify the warm
+        // dirty path stays exact.
+        let mut fp2 = Floorplan::new(Canvas::new(32.0, 32.0));
+        for i in 0..70 {
+            let cell = if i == 67 {
+                Cell::new(24, 20)
+            } else {
+                Cell::new((i % 16) * 2, (i / 16) * 2)
+            };
+            fp2.place(BlockId(i), 0, Shape::new(2.0, 2.0), cell).unwrap();
+        }
+        let (m2, v2) = metrics_incremental(&c, &fp2, &mut scratch, DirtySet::Blocks(&[67]));
+        assert_eq!(m2, metrics(&c, &fp2));
+        assert_eq!(v2, crate::constraints::count_violations(&c, &fp2));
         let w = RewardWeights::default();
         let hpwl_min = hpwl_lower_bound(&c);
         assert_eq!(
-            episode_reward_incremental(&c, &fp, hpwl_min, &w, &mut scratch, DirtySet::Full),
-            episode_reward(&c, &fp, hpwl_min, &w),
+            episode_reward_incremental(&c, &fp2, hpwl_min, &w, &mut scratch, DirtySet::Blocks(&[])),
+            episode_reward(&c, &fp2, hpwl_min, &w),
         );
+        assert_eq!(scratch.fallback_rescans, 0, "no fallback at any size");
     }
 
     #[test]

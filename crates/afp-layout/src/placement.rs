@@ -66,11 +66,13 @@ const UNPLACED: u32 = u32::MAX;
 /// The evolving floorplan of one episode: grid occupancy plus the real-valued
 /// rectangles of every placed block.
 ///
-/// Occupancy is a [`BitGrid`] (one `u32` row mask per grid row), so footprint
-/// probes, placement and the free-anchor maps behind the snap search and the
-/// RL positional masks are word-level bit operations. Per-block lookup
-/// ([`Floorplan::is_placed`], [`Floorplan::find`]) is O(1) through a
-/// block-index → placement-slot table instead of a linear scan.
+/// Occupancy is a [`BitGrid`] (`u64` row words), so footprint probes,
+/// placement and the free-anchor maps behind the snap search and the RL
+/// positional masks are word-level bit operations. The grid defaults to the
+/// paper's `GRID_SIZE × GRID_SIZE` discretization; [`Floorplan::with_grid_side`]
+/// instantiates a finer grid over the same canvas for large-n workloads.
+/// Per-block lookup ([`Floorplan::is_placed`], [`Floorplan::find`]) is O(1)
+/// through a block-index → placement-slot table instead of a linear scan.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Floorplan {
     canvas: Canvas,
@@ -98,7 +100,8 @@ impl PartialEq for Floorplan {
 }
 
 impl Floorplan {
-    /// Creates an empty floorplan over the given canvas.
+    /// Creates an empty floorplan over the given canvas, on the paper's
+    /// default `GRID_SIZE × GRID_SIZE` grid.
     pub fn new(canvas: Canvas) -> Self {
         Floorplan {
             canvas,
@@ -108,6 +111,27 @@ impl Floorplan {
             placed: Vec::new(),
             slot: Vec::new(),
         }
+    }
+
+    /// Creates an empty floorplan over the given canvas on a `side × side`
+    /// grid. At `side == GRID_SIZE` this is bit-identical to
+    /// [`Floorplan::new`] (same cell-size division, same footprint ceiling);
+    /// larger sides keep per-cell resolution sane for circuits whose block
+    /// count would otherwise saturate the 32×32 discretization.
+    pub fn with_grid_side(canvas: Canvas, side: usize) -> Self {
+        Floorplan {
+            canvas,
+            cell_w_um: canvas.width_um / side as f64,
+            cell_h_um: canvas.height_um / side as f64,
+            grid: BitGrid::with_size(side, side),
+            placed: Vec::new(),
+            slot: Vec::new(),
+        }
+    }
+
+    /// Cells per grid side for this floorplan (`GRID_SIZE` by default).
+    pub fn grid_side(&self) -> usize {
+        self.grid.width()
     }
 
     /// The underlying canvas.
@@ -140,28 +164,35 @@ impl Floorplan {
         }
     }
 
-    /// The occupancy bitboard: one `u32` row mask per grid row.
+    /// The occupancy bitboard: `u64` row words, bottom row first.
     pub fn grid(&self) -> &BitGrid {
         &self.grid
     }
 
-    /// Row-major iterator over the `GRID_SIZE × GRID_SIZE` occupancy cells —
-    /// the stable scalar view for serialization and feature maps.
+    /// Row-major iterator over the `side × side` occupancy cells — the
+    /// stable scalar view for serialization and feature maps.
     pub fn occupancy_cells(&self) -> impl Iterator<Item = bool> + '_ {
-        self.grid
-            .rows()
-            .iter()
-            .flat_map(|&row| (0..GRID_SIZE as u32).map(move |x| (row >> x) & 1 == 1))
+        let grid = &self.grid;
+        (0..grid.height())
+            .flat_map(move |y| (0..grid.width()).map(move |x| grid.get(Cell::new(x, y))))
     }
 
     /// Returns `true` if the cell is inside the grid and not occupied.
     pub fn is_free(&self, cell: Cell) -> bool {
-        cell.x < GRID_SIZE && cell.y < GRID_SIZE && !self.grid.get(cell)
+        cell.x < self.grid.width() && cell.y < self.grid.height() && !self.grid.get(cell)
     }
 
-    /// The grid footprint of a shape on this floorplan's canvas.
+    /// The grid footprint of a shape on this floorplan's canvas, using the
+    /// paper's ceiling mapping at this floorplan's grid side (identical to
+    /// [`Canvas::shape_to_cells`] on the default grid).
     pub fn grid_footprint(&self, shape: &Shape) -> (usize, usize) {
-        self.canvas.shape_to_cells(shape)
+        let side = self.grid.width();
+        if side == GRID_SIZE {
+            return self.canvas.shape_to_cells(shape);
+        }
+        let wg = (shape.width_um * side as f64 / self.canvas.width_um).ceil() as usize;
+        let hg = (shape.height_um * self.grid.height() as f64 / self.canvas.height_um).ceil() as usize;
+        (wg.clamp(1, side), hg.clamp(1, self.grid.height()))
     }
 
     /// Returns `true` if a footprint of `grid_w × grid_h` cells anchored at

@@ -17,7 +17,7 @@
 //!   Fenwick prefix-max sweep. `pack_into` reuses a caller-held
 //!   [`PackScratch`] and output buffers, making steady-state packing
 //!   allocation-free.
-//! * [`SequencePair::pack_relaxation`] — the original O(n³) repeated
+//! * `SequencePair::pack_relaxation` — the original O(n³) repeated
 //!   relaxation longest-path solver, compiled only for tests or under the
 //!   `legacy-pack` feature. It is retained as a differential-testing oracle
 //!   (`tests/properties.rs` asserts bit-identical positions on random pairs)
@@ -324,17 +324,17 @@ pub fn realize_floorplan(
     // Place in increasing x, y order to keep occupancy consistent.
     let mut order = scratch.take_order();
     sort_placement_order(&mut order, &xs, &ys, n);
-    let cw = canvas.cell_width_um();
-    let ch = canvas.cell_height_um();
+    // Cell sizes at the floorplan's own grid side: identical bits to
+    // `canvas.cell_width_um()` on the default 32×32 grid (same division).
+    let side = fp.grid_side();
+    let cw = canvas.width_um / side as f64;
+    let ch = canvas.height_um / side as f64;
     for &i in &order {
         let (px, py) = (xs[i], ys[i]);
         let shape = Shape::new(shapes[i].width_um * scale, shapes[i].height_um * scale);
         let cell_x = ((px * scale) / cw).round() as usize;
         let cell_y = ((py * scale) / ch).round() as usize;
-        let cell = crate::grid::Cell::new(
-            cell_x.min(crate::grid::GRID_SIZE - 1),
-            cell_y.min(crate::grid::GRID_SIZE - 1),
-        );
+        let cell = crate::grid::Cell::new(cell_x.min(side - 1), cell_y.min(side - 1));
         // Grid snapping can create spurious overlaps; scan outward for the
         // nearest free anchor so every block ends up placed.
         let (gw, gh) = fp.grid_footprint(&shape);
@@ -412,7 +412,9 @@ struct SnapStep {
 }
 
 impl SnapStep {
-    /// `anchor_x` sentinel for "no anchor found" (off-grid: `GRID_SIZE = 32`).
+    /// `anchor_x` sentinel for "no anchor found". Cells are stored in a byte,
+    /// so the incremental engine supports grid sides up to 255 exclusive —
+    /// far above the 128-cell side the large-n tier tops out at.
     const NO_ANCHOR: u8 = u8::MAX;
 
     #[inline]
@@ -639,9 +641,14 @@ pub fn realize_floorplan_incremental(
 
     // Hoisted once per episode (bit-identical to the per-block calls the
     // full path's loop makes — same operands, same operations).
-    let cw = canvas.cell_width_um();
-    let ch = canvas.cell_height_um();
-    let grid_max = crate::grid::GRID_SIZE - 1;
+    let side = fp.grid_side();
+    assert!(
+        side < SnapStep::NO_ANCHOR as usize,
+        "incremental realization stores cells in a byte; grid side {side} too large"
+    );
+    let cw = canvas.width_um / side as f64;
+    let ch = canvas.height_um / side as f64;
+    let grid_max = side - 1;
     // The snap-search start cell of block `i` — the µm→cell rounding of the
     // full path, verbatim.
     let start_of = |px: f64, py: f64| -> Cell {
@@ -777,7 +784,7 @@ pub fn realize_floorplan_incremental(
     }
     cache.canvas = Some(canvas);
     cache.scale = scale;
-    cache.final_grid = *fp.grid();
+    cache.final_grid.clone_from(fp.grid());
     cache.placed_count = fp.num_placed();
     cache.kept_blocks += prefix as u64;
     cache.last_kept = prefix;
@@ -804,7 +811,7 @@ const PROBE_RADIUS: usize = 3;
 /// each re-AND the `gh` covered rows. Only when those all miss — rare outside
 /// near-full grids — one
 /// [`BitGrid::free_anchors`](crate::bitgrid::BitGrid::free_anchors) pass
-/// answers "where does this footprint fit?" for all 1024 cells at once, and
+/// answers "where does this footprint fit?" for all cells at once, and
 /// [`nearest_anchor_from`](crate::bitgrid::nearest_anchor_from) continues the
 /// identical scan from radius `PROBE_RADIUS + 1`. Candidates are considered
 /// in the historical spiral order (radius ascending, then Δy from −r to r,
@@ -817,54 +824,112 @@ pub fn find_nearest_fit(
     gw: usize,
     gh: usize,
 ) -> Option<crate::grid::Cell> {
+    use crate::bitgrid::{first_set_in_range, row_bit, MAX_WPR};
     if fp.fits(start, gw, gh) {
         return Some(start);
     }
-    let grid_size = crate::grid::GRID_SIZE as isize;
-    // Anchor masks of the probed band, keyed by Δy, filled on first use.
-    let mut band = [None::<u32>; 2 * PROBE_RADIUS + 1];
-    let mut row_anchors = |dy: isize, fp: &Floorplan| -> u32 {
-        let y = start.y as isize + dy;
-        if !(0..grid_size).contains(&y) {
-            return 0;
+    let grid = fp.grid();
+    let width = grid.width() as isize;
+    let height = grid.height() as isize;
+    let wpr = grid.words_per_row();
+    const BAND_ROWS: usize = 2 * PROBE_RADIUS + 1;
+    if wpr == 1 {
+        // One-word rows (every grid up to 64 columns, the 32×32 default
+        // included): each band row's anchor mask is a single u64 held by
+        // value, sparing the multi-word band buffer and its per-row slices.
+        let mut band = [0u64; BAND_ROWS];
+        let mut filled = [false; BAND_ROWS];
+        for radius in 1..=(PROBE_RADIUS as isize) {
+            for dy in -radius..=radius {
+                let y = start.y as isize + dy;
+                if !(0..height).contains(&y) {
+                    continue;
+                }
+                let bi = (dy + PROBE_RADIUS as isize) as usize;
+                if !filled[bi] {
+                    grid.row_anchors_into(
+                        y as usize,
+                        gw,
+                        gh,
+                        std::slice::from_mut(&mut band[bi]),
+                    );
+                    filled[bi] = true;
+                }
+                let anchors = band[bi];
+                if anchors == 0 {
+                    continue;
+                }
+                if dy.abs() == radius {
+                    // Ring boundary row: all Δx ascending ⇒ the lowest set
+                    // anchor bit in the clamped window [x − r, x + r].
+                    let lo = (start.x as isize - radius).max(0) as usize;
+                    let hi = ((start.x as isize + radius).min(width - 1)) as usize;
+                    let window = if hi - lo + 1 == 64 {
+                        !0u64
+                    } else {
+                        ((1u64 << (hi - lo + 1)) - 1) << lo
+                    };
+                    let hits = anchors & window;
+                    if hits != 0 {
+                        return Some(Cell::new(hits.trailing_zeros() as usize, y as usize));
+                    }
+                } else {
+                    // Interior row: only Δx = −r then Δx = +r are on the ring.
+                    let left = start.x as isize - radius;
+                    if left >= 0 && (anchors >> left) & 1 == 1 {
+                        return Some(Cell::new(left as usize, y as usize));
+                    }
+                    let right = start.x as isize + radius;
+                    if right < width && (anchors >> right) & 1 == 1 {
+                        return Some(Cell::new(right as usize, y as usize));
+                    }
+                }
+            }
         }
-        *band[(dy + PROBE_RADIUS as isize) as usize]
-            .get_or_insert_with(|| fp.grid().row_anchors(y as usize, gw, gh))
-    };
+        let anchors = grid.free_anchors(gw, gh);
+        return crate::bitgrid::nearest_anchor_from(&anchors, start, PROBE_RADIUS + 1);
+    }
+    // Anchor masks of the probed band, keyed by Δy, filled on first use —
+    // a stack buffer of `MAX_WPR` words per band row.
+    let mut band = [0u64; BAND_ROWS * MAX_WPR];
+    let mut filled = [false; BAND_ROWS];
     for radius in 1..=(PROBE_RADIUS as isize) {
         for dy in -radius..=radius {
             let y = start.y as isize + dy;
-            if !(0..grid_size).contains(&y) {
+            if !(0..height).contains(&y) {
                 continue;
             }
-            let anchors = row_anchors(dy, fp);
-            if anchors == 0 {
+            let bi = (dy + PROBE_RADIUS as isize) as usize;
+            if !filled[bi] {
+                grid.row_anchors_into(y as usize, gw, gh, &mut band[bi * MAX_WPR..]);
+                filled[bi] = true;
+            }
+            let anchors = &band[bi * MAX_WPR..bi * MAX_WPR + wpr];
+            if anchors.iter().all(|&w| w == 0) {
                 continue;
             }
             if dy.abs() == radius {
                 // Ring boundary row: all Δx ascending ⇒ the lowest set
                 // anchor bit in the clamped window [x − r, x + r].
-                let lo = (start.x as isize - radius).max(0);
-                let hi = (start.x as isize + radius).min(grid_size - 1);
-                let window = (((1u64 << (hi - lo + 1)) - 1) as u32) << lo;
-                let hits = anchors & window;
-                if hits != 0 {
-                    return Some(Cell::new(hits.trailing_zeros() as usize, y as usize));
+                let lo = (start.x as isize - radius).max(0) as usize;
+                let hi = ((start.x as isize + radius).min(width - 1)) as usize;
+                if let Some(x) = first_set_in_range(anchors, lo, hi) {
+                    return Some(Cell::new(x, y as usize));
                 }
             } else {
                 // Interior row: only Δx = −r then Δx = +r are on the ring.
                 let left = start.x as isize - radius;
-                if left >= 0 && (anchors >> left) & 1 == 1 {
+                if left >= 0 && row_bit(anchors, left as usize) {
                     return Some(Cell::new(left as usize, y as usize));
                 }
                 let right = start.x as isize + radius;
-                if right < grid_size && (anchors >> right) & 1 == 1 {
+                if right < width && row_bit(anchors, right as usize) {
                     return Some(Cell::new(right as usize, y as usize));
                 }
             }
         }
     }
-    let anchors = fp.grid().free_anchors(gw, gh);
+    let anchors = grid.free_anchors(gw, gh);
     crate::bitgrid::nearest_anchor_from(&anchors, start, PROBE_RADIUS + 1)
 }
 

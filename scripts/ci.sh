@@ -28,7 +28,10 @@ for diff_test in \
     multistart_sa_matches_serial_replay \
     sa_with_generous_deadline_replays_the_unbounded_run \
     serve_fingerprints_are_injective_and_canonical \
-    serve_cache_hit_replays_the_cold_solve_bit_for_bit; do
+    serve_cache_hit_replays_the_cold_solve_bit_for_bit \
+    multiword_grid_fits_anchors_and_nearest_fit_match_scalar \
+    incremental_realize_matches_full_beyond_64_blocks \
+    incremental_metrics_match_full_beyond_64_blocks; do
     diff_out="$(cargo test --test properties "$diff_test" 2>&1)" \
         || { echo "$diff_out"; exit 1; }
     echo "$diff_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
@@ -43,7 +46,10 @@ done
 for oracle_feature in full-realize full-metrics; do
     for pool_test in eval_pool_matches_serial_cost_cached \
         multistart_sa_matches_serial_replay \
-        serve_cache_hit_replays_the_cold_solve_bit_for_bit; do
+        serve_cache_hit_replays_the_cold_solve_bit_for_bit \
+        multiword_grid_fits_anchors_and_nearest_fit_match_scalar \
+        incremental_realize_matches_full_beyond_64_blocks \
+        incremental_metrics_match_full_beyond_64_blocks; do
         diff_out="$(cargo test --test properties "$pool_test" \
             --features "$oracle_feature" 2>&1)" \
             || { echo "$diff_out"; exit 1; }
@@ -53,6 +59,24 @@ for oracle_feature in full-realize full-metrics; do
 done
 cargo test -q -p afp-metaheuristics --features full-realize
 cargo test -q -p afp-metaheuristics --features full-metrics
+
+# Large-n zero-fallback tripwires: the `fallback_rescans` counter is
+# structurally never incremented (the full-rescan fallback branch was deleted
+# when the metric masks went multi-word), and these unit tests pin that claim
+# on 70- and 200-block circuits — past every historical 64-element ceiling.
+# Run them by name so a filtered run cannot silently skip them. (The
+# feature-gated `cargo test -p afp-metaheuristics` runs above exercise the
+# 200-block pipeline test against both oracle defaults as well.)
+for fallback_test in \
+    "afp-layout|large_circuits_run_incrementally_with_zero_fallbacks" \
+    "afp-metaheuristics|large_n_cost_pipeline_runs_incrementally_with_zero_fallbacks"; do
+    pkg="${fallback_test%%|*}"
+    name="${fallback_test##*|}"
+    fb_out="$(cargo test -p "$pkg" "$name" 2>&1)" \
+        || { echo "$fb_out"; exit 1; }
+    echo "$fb_out" | grep -qE 'test result: ok\. [1-9][0-9]* passed' \
+        || { echo "ci: zero-fallback test filter '$name' matched no tests" >&2; exit 1; }
+done
 
 # Robustness safety net: the deterministic fault-injection proptests (pool
 # survives injected panics/stalls; multistart winner reduces deterministically
@@ -91,14 +115,32 @@ trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && timeout 1800 cargo run --release --manifest-path "$repo_root/Cargo.toml" \
     -p afp-bench --bin bench_snapshot)
 if command -v python3 > /dev/null; then
-    python3 - "$smoke_dir/BENCH_pack.json" <<'PY' \
+    python3 - "$smoke_dir/BENCH_pack.json" "$repo_root/BENCH_pack.json" <<'PY' \
         || { echo "ci: bench_snapshot snapshot invalid" >&2; exit 1; }
 import json, sys
 with open(sys.argv[1]) as f:
     snap = json.load(f)
-for section in ("pack", "snap", "masks", "incremental_realize", "eval_pool",
-                "pool_overhead", "multistart", "serve", "sa_locality", "sa"):
+with open(sys.argv[2]) as f:
+    committed = json.load(f)
+for section in ("pack", "snap", "large_n", "masks", "incremental_realize",
+                "eval_pool", "pool_overhead", "multistart", "serve",
+                "sa_locality", "sa"):
     assert section in snap, f"missing snapshot section: {section}"
+# The large-n tier: one row per block count past the old 64-element ceilings,
+# each run end to end through the incremental cost pipeline on a multi-word
+# grid. `fallback_rescans` is the tripwire for the deleted full-rescan
+# branch: any nonzero value means a "large" circuit silently fell back to
+# O(n) rescans, which is exactly the regression this tier exists to catch.
+large = snap["large_n"]
+assert [row["blocks"] for row in large] == [200, 500, 1000], \
+    "large_n tier does not cover the expected block counts"
+assert [row["grid_side"] for row in large] == [64, 96, 128], \
+    "large_n grid sides diverged from grid_side_for()"
+for row in large:
+    for key in ("sa_move_ns", "eval_pool_generation_ns", "multistart_ns"):
+        assert row[key] > 0.0, f"nonsensical large_n timing: {key}"
+    assert row["fallback_rescans"] == 0, \
+        f"incremental metrics fell back at n={row['blocks']}"
 inc = snap["incremental_realize"]
 for key in ("incremental_move_ns", "incremental_realize_full_metrics_move_ns",
             "full_move_ns", "speedup", "replay_hit_rate", "pack_replay_rate"):
@@ -174,6 +216,18 @@ assert loc["local_pack_replay_rate"] >= loc["uniform_pack_replay_rate"], \
     "locality bias did not increase pack replay"
 assert loc["local_snap_hit_rate"] >= loc["uniform_snap_hit_rate"], \
     "locality bias did not increase snap replay hits"
+# Throughput band on the paper-scale workload: the smoke run's 19-block SA
+# median must stay within 4x of the committed snapshot's. The committed value
+# is the canonical perf trajectory refreshed deliberately by perf PRs; 4x is
+# far beyond CI-machine noise (observed well under 2x run to run) but well
+# inside any real regression from, e.g., the small-grid fast path losing its
+# inline storage. Only the lower bound is gated — getting faster is fine.
+smoke_sa = snap["sa"]["moves_per_sec"]
+committed_sa = committed["sa"]["moves_per_sec"]
+assert smoke_sa > 0 and committed_sa > 0, "nonsensical SA throughput"
+assert smoke_sa * 4 >= committed_sa, (
+    f"19-block SA throughput fell out of band: smoke {smoke_sa} moves/s "
+    f"vs committed {committed_sa} moves/s (floor committed/4)")
 PY
 else
     echo "ci: python3 not found, skipping BENCH_pack.json JSON validation" >&2

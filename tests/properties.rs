@@ -11,25 +11,33 @@ use analog_floorplan::tensor::Tensor;
 /// Scalar `Vec<bool>` occupancy grid — the pre-bitboard reference
 /// implementation of `fits`, the spiral nearest-fit scan and the positional
 /// free-space test, retained as the differential oracle for the `BitGrid`
-/// word-level engine (mirroring how `legacy-pack` oracles FAST-SP).
+/// word-level engine (mirroring how `legacy-pack` oracles FAST-SP). The side
+/// is parametric so the same oracle also checks multi-word grids past the
+/// historical 64-column ceiling.
 struct ScalarGrid {
+    side: usize,
     occ: Vec<bool>,
 }
 
 impl ScalarGrid {
     fn new() -> Self {
+        ScalarGrid::with_side(GRID_SIZE)
+    }
+
+    fn with_side(side: usize) -> Self {
         ScalarGrid {
-            occ: vec![false; GRID_SIZE * GRID_SIZE],
+            side,
+            occ: vec![false; side * side],
         }
     }
 
     fn fits(&self, cell: Cell, gw: usize, gh: usize) -> bool {
-        if cell.x + gw > GRID_SIZE || cell.y + gh > GRID_SIZE {
+        if cell.x + gw > self.side || cell.y + gh > self.side {
             return false;
         }
         for dy in 0..gh {
             for dx in 0..gw {
-                if self.occ[(cell.y + dy) * GRID_SIZE + cell.x + dx] {
+                if self.occ[(cell.y + dy) * self.side + cell.x + dx] {
                     return false;
                 }
             }
@@ -40,7 +48,7 @@ impl ScalarGrid {
     fn set_rect(&mut self, cell: Cell, gw: usize, gh: usize) {
         for dy in 0..gh {
             for dx in 0..gw {
-                self.occ[(cell.y + dy) * GRID_SIZE + cell.x + dx] = true;
+                self.occ[(cell.y + dy) * self.side + cell.x + dx] = true;
             }
         }
     }
@@ -50,7 +58,7 @@ impl ScalarGrid {
         if self.fits(start, gw, gh) {
             return Some(start);
         }
-        for radius in 1..GRID_SIZE {
+        for radius in 1..self.side {
             for dy in -(radius as isize)..=(radius as isize) {
                 for dx in -(radius as isize)..=(radius as isize) {
                     if dx.abs().max(dy.abs()) != radius as isize {
@@ -62,7 +70,7 @@ impl ScalarGrid {
                         continue;
                     }
                     let cell = Cell::new(x as usize, y as usize);
-                    if cell.x < GRID_SIZE && cell.y < GRID_SIZE && self.fits(cell, gw, gh) {
+                    if cell.x < self.side && cell.y < self.side && self.fits(cell, gw, gh) {
                         return Some(cell);
                     }
                 }
@@ -262,7 +270,7 @@ proptest! {
                 let expected = scalar.fits(cell, gw, gh);
                 prop_assert_eq!(fp.fits(cell, gw, gh), expected,
                     "fits diverges at ({}, {}) for {}x{}", x, y, gw, gh);
-                prop_assert_eq!((anchors[y] >> x) & 1 == 1, expected,
+                prop_assert_eq!(anchors.get(x, y), expected,
                     "anchor bit diverges at ({}, {}) for {}x{}", x, y, gw, gh);
             }
         }
@@ -400,7 +408,7 @@ proptest! {
             );
 
             // Grid occupancy, block anchors and full placement records.
-            prop_assert_eq!(fp.grid().rows(), fresh.grid().rows(), "occupancy diverged");
+            prop_assert_eq!(fp.grid(), fresh.grid(), "occupancy diverged");
             prop_assert_eq!(fp.num_placed(), fresh.num_placed());
             for (a, b) in fp.placed().iter().zip(fresh.placed().iter()) {
                 prop_assert_eq!(a.block, b.block, "anchor order diverged");
@@ -638,6 +646,255 @@ proptest! {
             .map(|p| (p.block, p.cell, p.grid_w, p.grid_h))
             .collect();
         prop_assert_eq!(got, expected, "realized placements diverge (seed {})", seed);
+    }
+}
+
+/// A deterministic `n`-block chain circuit used by the large-n differential
+/// walks: randomized block areas, a chain net per adjacent pair and a
+/// vertical-symmetry constraint per adjacent pair — so any `n > 64` pushes
+/// the per-block *and* per-constraint incremental masks past one word.
+fn large_circuit(n: usize, seed: u64) -> analog_floorplan::circuit::Circuit {
+    use analog_floorplan::circuit::{Circuit, NetClass};
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let names: Vec<String> = (0..n).map(|i| format!("B{i}")).collect();
+    let mut builder = Circuit::builder(format!("large-{n}"));
+    for name in &names {
+        builder = builder.block(name, BlockKind::CurrentMirror, rng.gen_range(4.0..40.0), 3);
+    }
+    for w in names.windows(2) {
+        builder = builder.net(
+            &format!("n_{}_{}", &w[0], &w[1]),
+            &[(w[0].as_str(), "d"), (w[1].as_str(), "s")],
+            NetClass::Signal,
+        );
+    }
+    for w in names.windows(2) {
+        builder = builder.symmetry_v(&[(w[0].as_str(), w[1].as_str())]);
+    }
+    builder.build().expect("large circuit is valid")
+}
+
+proptest! {
+    // 200+ random cases each: the acceptance bar of the multi-word engines —
+    // the same scalar / full-rescan differentials as the blocks above, but on
+    // grids wider than one 64-bit word and circuits past the historical
+    // 64-block / 64-constraint bitmask ceiling. Run by name in scripts/ci.sh
+    // under the default and both feature-gated oracle configurations.
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Word-spanning occupancy queries versus the scalar oracle: on a grid
+    /// with 65–96 columns (2 words per row), `fits`, the free-anchor map and
+    /// the banded nearest-fit search must agree with the scalar grid and the
+    /// historical spiral scan on every cell — anchors probed across both
+    /// word seams.
+    #[test]
+    fn multiword_grid_fits_anchors_and_nearest_fit_match_scalar(
+        side in 65usize..97,
+        placements in prop::collection::vec(
+            ((0usize..96), (0usize..96), (1.0f64..18.0), (1.0f64..18.0)), 1..24),
+        footprint in ((1usize..20), (1usize..8)),
+        start in ((0usize..96), (0usize..96)),
+    ) {
+        use analog_floorplan::layout::sequence_pair::find_nearest_fit;
+        let canvas = Canvas::new(side as f64, side as f64);
+        let mut fp = Floorplan::with_grid_side(canvas, side);
+        let mut scalar = ScalarGrid::with_side(side);
+        for (i, (x, y, w, h)) in placements.into_iter().enumerate() {
+            if x >= side || y >= side {
+                continue;
+            }
+            if fp.place(BlockId(i), 0, Shape::new(w, h), Cell::new(x, y)).is_ok() {
+                let p = fp.placed().last().unwrap();
+                scalar.set_rect(p.cell, p.grid_w, p.grid_h);
+            }
+        }
+        let (gw, gh) = footprint;
+        let anchors = fp.grid().free_anchors(gw, gh);
+        for y in 0..side {
+            for x in 0..side {
+                let cell = Cell::new(x, y);
+                let expected = scalar.fits(cell, gw, gh);
+                prop_assert_eq!(fp.fits(cell, gw, gh), expected,
+                    "fits diverges at ({}, {}) for {}x{} on side {}", x, y, gw, gh, side);
+                prop_assert_eq!(anchors.get(x, y), expected,
+                    "anchor bit diverges at ({}, {}) for {}x{} on side {}", x, y, gw, gh, side);
+            }
+        }
+        let start = Cell::new(start.0.min(side - 1), start.1.min(side - 1));
+        prop_assert_eq!(
+            find_nearest_fit(&fp, start, gw, gh),
+            scalar.find_nearest_fit(start, gw, gh),
+            "nearest fit diverges from spiral scan at start ({}, {})", start.x, start.y
+        );
+    }
+
+    /// The incremental realization engine past the 64-block ceiling: along
+    /// random perturbation walks of a 65–200 block circuit on a 96-cell
+    /// grid, `realize_floorplan_incremental` through a warm cache must stay
+    /// bit-identical to a fresh `realize_floorplan` — multi-word occupancy,
+    /// anchors, placement records and metrics all compared.
+    #[test]
+    fn incremental_realize_matches_full_beyond_64_blocks(
+        n in 65usize..201,
+        seed in 0u64..1_000_000,
+        moves in 1usize..5,
+    ) {
+        use analog_floorplan::layout::sequence_pair::{
+            realize_floorplan, realize_floorplan_incremental,
+        };
+        use analog_floorplan::layout::{PackScratch, RealizeCache};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        const SIDE: usize = 96;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = large_circuit(n, seed);
+        let base_canvas = Canvas::for_circuit(&circuit);
+        let alt_canvas = Canvas::new(base_canvas.width_um * 0.75, base_canvas.height_um * 1.25);
+        let mut positive: Vec<usize> = (0..n).collect();
+        let mut negative: Vec<usize> = (0..n).collect();
+        positive.shuffle(&mut rng);
+        negative.shuffle(&mut rng);
+        let mut shapes: Vec<Shape> = (0..n)
+            .map(|_| Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0)))
+            .collect();
+        let mut canvas = base_canvas;
+
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut cache = RealizeCache::new();
+        let mut fp = Floorplan::with_grid_side(canvas, SIDE);
+
+        for _ in 0..moves {
+            match rng.gen_range(0..5) {
+                0 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    positive.swap(i, j);
+                }
+                1 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    negative.swap(i, j);
+                }
+                2 => {
+                    let b = rng.gen_range(0..n);
+                    shapes[b] = Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0));
+                }
+                3 => {
+                    canvas = if canvas == base_canvas { alt_canvas } else { base_canvas };
+                }
+                _ => {} // identical episode: everything should be kept
+            }
+
+            realize_floorplan_incremental(
+                &positive, &negative, &shapes, &circuit, canvas, &mut scratch, &mut fp,
+                &mut cache,
+            );
+
+            let mut fresh_scratch = PackScratch::with_capacity(n);
+            let mut fresh = Floorplan::with_grid_side(canvas, SIDE);
+            realize_floorplan(
+                &positive, &negative, &shapes, &circuit, canvas, &mut fresh_scratch, &mut fresh,
+            );
+
+            prop_assert_eq!(fp.grid(), fresh.grid(), "multi-word occupancy diverged");
+            prop_assert_eq!(fp.num_placed(), fresh.num_placed());
+            for (a, b) in fp.placed().iter().zip(fresh.placed().iter()) {
+                prop_assert_eq!(a.block, b.block, "anchor order diverged");
+                prop_assert_eq!(a.cell, b.cell, "anchor cell diverged");
+                prop_assert_eq!((a.grid_w, a.grid_h), (b.grid_w, b.grid_h));
+                prop_assert_eq!(&a.rect, &b.rect);
+            }
+            prop_assert!(fp == fresh, "floorplans diverged");
+            prop_assert_eq!(metrics::hpwl(&circuit, &fp), metrics::hpwl(&circuit, &fresh));
+        }
+    }
+
+    /// The incremental metrics engine past the 64-block / 64-constraint
+    /// ceiling: along the same perturbation walks, the dirty-set evaluation
+    /// must report HPWL, violation count and episode reward bit-identical to
+    /// the full rescan — with the spilled masks never tripping a fallback
+    /// (`fallback_rescans` stays 0 at every n).
+    #[test]
+    fn incremental_metrics_match_full_beyond_64_blocks(
+        n in 65usize..201,
+        seed in 0u64..1_000_000,
+        moves in 1usize..5,
+    ) {
+        use analog_floorplan::layout::metrics::{
+            episode_reward_incremental, metrics_incremental, DirtySet, MetricsScratch,
+        };
+        use analog_floorplan::layout::sequence_pair::realize_floorplan_incremental;
+        use analog_floorplan::layout::{PackScratch, RealizeCache};
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        const SIDE: usize = 96;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let circuit = large_circuit(n, seed);
+        prop_assert!(circuit.constraints.len() > 64, "constraint masks must spill");
+        let canvas = Canvas::for_circuit(&circuit);
+        let mut positive: Vec<usize> = (0..n).collect();
+        let mut negative: Vec<usize> = (0..n).collect();
+        positive.shuffle(&mut rng);
+        negative.shuffle(&mut rng);
+        let mut shapes: Vec<Shape> = (0..n)
+            .map(|_| Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0)))
+            .collect();
+        let hpwl_min = metrics::hpwl_lower_bound(&circuit);
+        let weights = metrics::RewardWeights::default();
+
+        let mut scratch = PackScratch::with_capacity(n);
+        let mut fp = Floorplan::with_grid_side(canvas, SIDE);
+        let mut cache = RealizeCache::new();
+        let mut reward_scratch = MetricsScratch::new();
+        let mut snapshot_scratch = MetricsScratch::new();
+
+        for _ in 0..moves {
+            match rng.gen_range(0..4) {
+                0 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    positive.swap(i, j);
+                }
+                1 => {
+                    let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                    negative.swap(i, j);
+                }
+                2 => {
+                    let b = rng.gen_range(0..n);
+                    shapes[b] = Shape::new(rng.gen_range(0.5..20.0), rng.gen_range(0.5..20.0));
+                }
+                _ => {} // identical episode: empty dirty set
+            }
+            realize_floorplan_incremental(
+                &positive, &negative, &shapes, &circuit, canvas, &mut scratch, &mut fp,
+                &mut cache,
+            );
+            let dirty = || {
+                if cache.last_was_full_rebuild() {
+                    DirtySet::Full
+                } else {
+                    DirtySet::Blocks(cache.dirty_blocks())
+                }
+            };
+
+            let expected_metrics = metrics::metrics(&circuit, &fp);
+            let expected_violations =
+                analog_floorplan::layout::constraints::count_violations(&circuit, &fp);
+            let expected_reward = metrics::episode_reward(&circuit, &fp, hpwl_min, &weights);
+
+            let reward = episode_reward_incremental(
+                &circuit, &fp, hpwl_min, &weights, &mut reward_scratch, dirty(),
+            );
+            prop_assert_eq!(reward, expected_reward, "episode reward diverged at n {}", n);
+
+            let (m, violations) =
+                metrics_incremental(&circuit, &fp, &mut snapshot_scratch, dirty());
+            prop_assert_eq!(m.hpwl_um, expected_metrics.hpwl_um, "HPWL diverged at n {}", n);
+            prop_assert_eq!(m.dead_space, expected_metrics.dead_space);
+            prop_assert_eq!(m.area_um2, expected_metrics.area_um2);
+            prop_assert_eq!(m.aspect_ratio, expected_metrics.aspect_ratio);
+            prop_assert_eq!(violations, expected_violations, "violation count diverged");
+        }
+        prop_assert_eq!(reward_scratch.fallback_rescans, 0, "reward path tripped a fallback");
+        prop_assert_eq!(snapshot_scratch.fallback_rescans, 0, "metrics path tripped a fallback");
     }
 }
 
