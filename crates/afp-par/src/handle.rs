@@ -91,6 +91,16 @@ impl PoolHandle {
         self.lock().stats()
     }
 
+    /// Non-blocking variant of [`stats`](PoolHandle::stats): `None` when the
+    /// pool is mid-dispatch instead of waiting for the batch to drain.
+    ///
+    /// Meant for monitoring surfaces that sample a live pool (the serve
+    /// daemon's drain loop keeps the pool busy for seconds at a time) where
+    /// a stale reading is fine but a blocked reader is not.
+    pub fn try_stats(&self) -> Option<PoolStats> {
+        self.try_lock().map(|pool| pool.stats())
+    }
+
     /// [`WorkerPool::map_scoped`] through the shared handle.
     ///
     /// Takes the pool with `try_lock`; when the pool is busy (another clone
@@ -233,6 +243,21 @@ mod tests {
         assert_eq!(out, expected);
         // Only the outer dispatches reached the pool.
         assert_eq!(handle.stats().batches, 1);
+    }
+
+    #[test]
+    fn try_stats_is_none_only_while_the_pool_is_held() {
+        let handle = PoolHandle::new(2);
+        let items: Vec<u64> = (0..8).collect();
+        let mut states = vec![(); 2];
+        let _ = handle.map_scoped(&items, &mut states, |_, &x| x);
+        // Idle pool: the sample succeeds and sees the dispatch above.
+        assert_eq!(handle.try_stats().expect("pool idle").batches, 1);
+        // Pool held by a running batch: the sample declines instead of
+        // blocking until the batch drains.
+        let sampler = handle.clone();
+        let out = handle.map_scoped(&[0u8], &mut states, |_, _| sampler.try_stats().is_none());
+        assert_eq!(out, vec![true]);
     }
 
     #[test]

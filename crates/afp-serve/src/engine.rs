@@ -3,22 +3,44 @@
 //! [`JobEngine`] accepts [`JobRequest`]s, keys each by its canonical
 //! [`Fingerprint`], and drains the queue in batches with
 //! [`JobEngine::run_pending`]: exact fingerprint hits are answered from the
-//! [`ResultCache`] without touching a worker, and the remaining misses are
-//! sharded across the engine's [`PoolHandle`] — one persistent process-wide
-//! `WorkerPool` shared by every engine that clones the handle. Each miss runs
-//! its baseline under its own [`RunControl`] (per-job deadline, evaluation
-//! budget, and [`CancelToken`]) inside a `catch_unwind`, so a panicking solve
-//! becomes [`JobState::Failed`] for that job alone — the pool, the cache, and
-//! the other jobs in the batch are unaffected (the same [`ChainOutcome`]
-//! machinery the multi-start races use).
+//! shared [`CacheHandle`] without touching a worker, and the remaining misses
+//! are sharded across the engine's [`PoolHandle`] — one persistent
+//! process-wide `WorkerPool` shared by every engine that clones the handle.
+//! Each miss runs its baseline under its own [`RunControl`] (per-job
+//! deadline, evaluation budget, and [`CancelToken`]) inside a
+//! `catch_unwind`, so a panicking solve becomes [`JobState::Failed`] for
+//! that job alone — the pool, the cache, and the other jobs in the batch are
+//! unaffected (the same [`ChainOutcome`] machinery the multi-start races
+//! use).
 //!
 //! Only runs that stopped with [`StopReason::Completed`] are memoized: the
 //! fingerprint does not encode deadlines or budgets, so an interrupted
 //! best-so-far result is *not* the canonical solve for its key and caching it
 //! would break the hit ≡ cold-solve bit-identity contract.
+//!
+//! ## Sharing and live admission
+//!
+//! The engine is a cheap [`Clone`]: clones share one job table, queue,
+//! cache, and pool. Internally the job table sits behind a mutex that is
+//! held only for the serial bookkeeping phases of a round — never across
+//! solver work — so [`JobEngine::try_submit`] from another thread admits a
+//! job *while a batch is in flight* instead of blocking until the batch
+//! ends. [`crate::daemon::ServeDaemon`] builds its drain loop on exactly
+//! this property. Admission is bounded by [`ServeConfig::queue_depth`]; a
+//! full queue is a typed [`RejectReason::QueueFull`], not a panic or a
+//! silent drop.
+//!
+//! Two clones may call `run_pending` concurrently; rounds then claim
+//! disjoint batches and every outcome is still bit-identical and correctly
+//! counted, but the same fingerprint can cost two (identical) solves if it
+//! is queued while another clone is already running it. The daemon avoids
+//! this by draining from a single thread.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
 use afp_metaheuristics::common::Candidate;
@@ -27,8 +49,9 @@ use afp_metaheuristics::{
 };
 use afp_par::PoolHandle;
 
-use crate::cache::{CacheStats, CachedSolve, ResultCache};
+use crate::cache::{CacheHandle, CacheStats, CachedSolve, DEFAULT_WARM_DEPTH};
 use crate::fingerprint::{Fingerprint, JobSpec};
+use crate::persist::PersistError;
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +69,23 @@ pub struct ServeConfig {
     /// reproducibility across engine instances matters more than solution
     /// quality.
     pub warm_start: bool,
+    /// Entries the warm-start index retains per topology key (minimum 1).
+    /// Deeper indexes survive eviction pressure: evicting the most recent
+    /// same-topology entry falls back to the next instead of going cold.
+    pub warm_depth: usize,
+    /// Maximum queued (not yet running) jobs; `0` = unbounded. When the
+    /// bound is reached, [`JobEngine::try_submit`] returns
+    /// [`RejectReason::QueueFull`] instead of admitting.
+    pub queue_depth: usize,
+    /// Where to persist cache snapshots. `None` disables persistence; the
+    /// explicit [`JobEngine::persist`]/[`JobEngine::restore_or_cold`] hooks
+    /// and the eviction-threshold autosave all use this path.
+    pub persist_path: Option<PathBuf>,
+    /// Autosave the cache after this many evictions since the last save
+    /// (`0` disables the autosave; explicit hooks still work). Eviction
+    /// count is the natural trigger: entries only become unreachable-after-
+    /// restart when they are about to be pushed out.
+    pub persist_every_evictions: u64,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +94,10 @@ impl Default for ServeConfig {
             workers: 0,
             cache_capacity: 64,
             warm_start: true,
+            warm_depth: DEFAULT_WARM_DEPTH,
+            queue_depth: 0,
+            persist_path: None,
+            persist_every_evictions: 64,
         }
     }
 }
@@ -68,6 +112,33 @@ impl JobId {
         self.0
     }
 }
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The queue is at its configured depth bound.
+    QueueFull {
+        /// Jobs currently queued.
+        pending: usize,
+        /// The configured [`ServeConfig::queue_depth`].
+        bound: usize,
+    },
+    /// The daemon is shutting down and no longer admits work.
+    ShuttingDown,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::QueueFull { pending, bound } => {
+                write!(f, "queue full ({pending} pending, bound {bound})")
+            }
+            RejectReason::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for RejectReason {}
 
 /// A solve request: the spec plus optional per-job run limits.
 #[derive(Debug, Clone)]
@@ -134,39 +205,74 @@ impl JobState {
 #[derive(Debug)]
 struct Job {
     request: JobRequest,
+    fingerprint: Fingerprint,
+    topology: Fingerprint,
     state: JobState,
     token: CancelToken,
 }
 
-/// Sharded, cancellable, cache-backed solve engine.
-///
-/// Single-threaded in its own right: submission and `run_pending` happen on
-/// the caller's thread, and only the solver work inside a batch is sharded
-/// across the pool. Clone the [`PoolHandle`] into several engines to share
-/// one process-wide worker pool between them.
-#[derive(Debug)]
-pub struct JobEngine {
-    pool: PoolHandle,
-    cache: ResultCache,
+#[derive(Debug, Default)]
+struct EngineState {
     jobs: Vec<Job>,
     queue: VecDeque<usize>,
+    evictions_at_last_persist: u64,
+}
+
+/// Sharded, cancellable, cache-backed solve engine.
+///
+/// Cloning is cheap and clones share everything: job table, queue, cache,
+/// pool. Solver work inside a batch is sharded across the pool; all
+/// bookkeeping happens on whichever thread calls into the engine, under a
+/// short-held internal lock (see the module docs for the admission
+/// guarantees this buys).
+#[derive(Debug, Clone)]
+pub struct JobEngine {
+    pool: PoolHandle,
+    cache: CacheHandle,
+    state: Arc<Mutex<EngineState>>,
     warm_start: bool,
+    queue_depth: usize,
+    persist_path: Option<PathBuf>,
+    persist_every_evictions: u64,
+}
+
+/// A batch-round entry scheduled to actually run a solver.
+struct Scheduled {
+    job: usize,
+    fingerprint: Fingerprint,
+    topology: Fingerprint,
+    warm: Option<Candidate>,
+    spec: JobSpec,
+    deadline: Option<Duration>,
+    budget: Option<u64>,
+    token: CancelToken,
 }
 
 impl JobEngine {
-    /// Creates an engine with its own pool per `config`.
+    /// Creates an engine with its own pool and cache per `config`.
     pub fn new(config: &ServeConfig) -> Self {
         JobEngine::with_pool(config, PoolHandle::new(config.workers))
     }
 
     /// Creates an engine on a shared pool handle (`config.workers` ignored).
     pub fn with_pool(config: &ServeConfig, pool: PoolHandle) -> Self {
+        let cache = CacheHandle::with_warm_depth(config.cache_capacity, config.warm_depth);
+        JobEngine::with_cache(config, pool, cache)
+    }
+
+    /// Creates an engine on a shared pool *and* a shared cache
+    /// (`config.workers`, `config.cache_capacity` and `config.warm_depth`
+    /// ignored — the handles decide). N engines built this way memoize into
+    /// one store: a solve completed by any of them is a hit for all.
+    pub fn with_cache(config: &ServeConfig, pool: PoolHandle, cache: CacheHandle) -> Self {
         JobEngine {
             pool,
-            cache: ResultCache::new(config.cache_capacity),
-            jobs: Vec::new(),
-            queue: VecDeque::new(),
+            cache,
+            state: Arc::new(Mutex::new(EngineState::default())),
             warm_start: config.warm_start,
+            queue_depth: config.queue_depth,
+            persist_path: config.persist_path.clone(),
+            persist_every_evictions: config.persist_every_evictions,
         }
     }
 
@@ -175,43 +281,85 @@ impl JobEngine {
         &self.pool
     }
 
-    /// Result-cache counters.
+    /// The engine's cache handle (clone it to share the cache).
+    pub fn cache(&self) -> &CacheHandle {
+        &self.cache
+    }
+
+    /// Result-cache counters (shared across every engine on this cache).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
     /// Number of jobs waiting for [`JobEngine::run_pending`].
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.lock().queue.len()
     }
 
-    /// Enqueues a job and returns its id.
-    pub fn submit(&mut self, request: JobRequest) -> JobId {
-        let id = self.jobs.len();
-        self.jobs.push(Job {
+    /// Total jobs ever submitted to this engine (valid `JobId` range).
+    pub fn job_count(&self) -> usize {
+        self.lock().jobs.len()
+    }
+
+    /// Enqueues a job, honoring the queue-depth bound.
+    pub fn try_submit(&self, request: JobRequest) -> Result<JobId, RejectReason> {
+        let fingerprint = request.spec.fingerprint();
+        let topology = request.spec.topology_fingerprint();
+        let mut state = self.lock();
+        if self.queue_depth != 0 && state.queue.len() >= self.queue_depth {
+            return Err(RejectReason::QueueFull {
+                pending: state.queue.len(),
+                bound: self.queue_depth,
+            });
+        }
+        let id = state.jobs.len();
+        state.jobs.push(Job {
             request,
+            fingerprint,
+            topology,
             state: JobState::Queued,
             token: CancelToken::new(),
         });
-        self.queue.push_back(id);
-        JobId(id)
+        state.queue.push_back(id);
+        Ok(JobId(id))
     }
 
-    /// The job's current state.
+    /// Enqueues a job and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if admission is rejected (only possible with a nonzero
+    /// [`ServeConfig::queue_depth`]) — use [`JobEngine::try_submit`] when a
+    /// bound is configured.
+    pub fn submit(&self, request: JobRequest) -> JobId {
+        self.try_submit(request).expect("job admission rejected")
+    }
+
+    /// The job's current state (a snapshot — the engine may move on).
     ///
     /// # Panics
     ///
     /// Panics if `id` was not issued by this engine.
-    pub fn state(&self, id: JobId) -> &JobState {
-        &self.jobs[id.0].state
+    pub fn state(&self, id: JobId) -> JobState {
+        self.lock().jobs[id.0].state.clone()
     }
 
     /// The job's outcome, if it reached [`JobState::Done`].
-    pub fn outcome(&self, id: JobId) -> Option<&JobOutcome> {
-        match &self.jobs[id.0].state {
-            JobState::Done(outcome) => Some(outcome),
+    pub fn outcome(&self, id: JobId) -> Option<JobOutcome> {
+        match &self.lock().jobs[id.0].state {
+            JobState::Done(outcome) => Some(outcome.clone()),
             _ => None,
         }
+    }
+
+    /// Snapshot of every job's `(id, state)`, in submission order.
+    pub fn states(&self) -> Vec<(JobId, JobState)> {
+        self.lock()
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| (JobId(i), job.state.clone()))
+            .collect()
     }
 
     /// Raises the job's cancel token. A queued job resolves to
@@ -219,60 +367,91 @@ impl JobEngine {
     /// running observes the token at its control's next poll and stops with
     /// [`StopReason::Cancelled`] (landing in [`JobState::Done`] with its
     /// best-so-far result).
-    pub fn cancel(&mut self, id: JobId) {
-        self.jobs[id.0].token.cancel();
+    pub fn cancel(&self, id: JobId) {
+        self.lock().jobs[id.0].token.cancel();
     }
 
     /// Raises every unfinished job's cancel token.
-    pub fn cancel_all(&mut self) {
-        for job in &mut self.jobs {
+    pub fn cancel_all(&self) {
+        for job in &mut self.lock().jobs {
             if !job.state.is_terminal() {
                 job.token.cancel();
             }
         }
     }
 
+    /// Immediately resolves every still-queued job to
+    /// [`JobState::Cancelled`] and empties the queue, without touching
+    /// running jobs. Returns the cancelled ids — the daemon's graceful
+    /// shutdown uses this to flush the backlog before finishing the
+    /// in-flight batch.
+    pub fn cancel_queued(&self) -> Vec<JobId> {
+        let mut state = self.lock();
+        let queued: Vec<usize> = state.queue.drain(..).collect();
+        let mut cancelled = Vec::with_capacity(queued.len());
+        for id in queued {
+            state.jobs[id].state = JobState::Cancelled;
+            cancelled.push(JobId(id));
+        }
+        cancelled
+    }
+
     /// Drains the queue: answers exact-fingerprint hits from the cache,
     /// shards the misses across the pool, and memoizes completed solves.
-    /// Returns the number of jobs that reached a terminal state.
+    /// Returns the number of jobs that reached a terminal state. Runs
+    /// rounds until the queue is observed empty, so jobs admitted while a
+    /// batch is in flight are drained by the same call.
     ///
-    /// Duplicates *within* a batch are deduplicated too: only the first job
-    /// with a given fingerprint runs; the rest are held back and resolved
-    /// from the cache once it finishes (or run in a follow-up round if the
-    /// first run was interrupted and therefore not memoized).
-    pub fn run_pending(&mut self) -> usize {
+    /// Duplicates *within* a batch are deduplicated: only the first job with
+    /// a given fingerprint runs, and when it completes the duplicates are
+    /// served from its memoized result in the same round — one solve, one
+    /// miss, and a counted hit per duplicate. Only if the first run is
+    /// interrupted (and therefore not memoized) are the duplicates
+    /// re-enqueued to run for real in a later round.
+    pub fn run_pending(&self) -> usize {
         let mut resolved = 0;
-        loop {
-            let batch: Vec<usize> = self.queue.drain(..).collect();
-            if batch.is_empty() {
-                return resolved;
-            }
+        while self.run_round(&mut resolved) {}
+        resolved
+    }
 
-            // Phase 1 (serial, cheap): resolve cancellations and cache hits;
-            // collect the misses with their keys and warm-start hints. A
-            // repeat of a fingerprint already scheduled this round is pushed
-            // back onto the queue — the next round answers it from the cache.
-            let mut to_run: Vec<(usize, Fingerprint, Fingerprint, Option<Candidate>)> = Vec::new();
+    /// Runs one batch round. Returns `false` when the queue was empty.
+    fn run_round(&self, resolved: &mut usize) -> bool {
+        // Phase 1 (serial, short-locked): claim the current queue, resolve
+        // cancellations and cache hits, pick one lead per fingerprint and
+        // group the round's duplicates behind it. Everything a solve needs
+        // is cloned out of the job table here so phase 2 runs lock-free.
+        let mut to_run: Vec<Scheduled> = Vec::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new(); // (job, lead index)
+        {
+            let mut state = self.lock();
+            let batch: Vec<usize> = state.queue.drain(..).collect();
+            if batch.is_empty() {
+                return false;
+            }
             for id in batch {
-                if self.jobs[id].token.is_cancelled() {
-                    self.jobs[id].state = JobState::Cancelled;
-                    resolved += 1;
+                if state.jobs[id].token.is_cancelled() {
+                    state.jobs[id].state = JobState::Cancelled;
+                    *resolved += 1;
                     continue;
                 }
-                let fingerprint = self.jobs[id].request.spec.fingerprint();
-                let topology = self.jobs[id].request.spec.topology_fingerprint();
+                let fingerprint = state.jobs[id].fingerprint;
+                let topology = state.jobs[id].topology;
+                if let Some(lead) = to_run.iter().position(|s| s.fingerprint == fingerprint) {
+                    // In-flight duplicate: resolved in phase 3 from the
+                    // lead's result. No cache lookup is counted for it yet —
+                    // its one counted lookup is the hit it becomes.
+                    state.jobs[id].state = JobState::Running;
+                    followers.push((id, lead));
+                    continue;
+                }
                 if let Some(cached) = self.cache.get(fingerprint) {
-                    self.jobs[id].state = JobState::Done(JobOutcome {
-                        result: cached.result.clone(),
+                    state.jobs[id].state = JobState::Done(JobOutcome {
+                        result: cached.result,
                         cache_hit: true,
                         warm_started: false,
                         fingerprint,
                     });
-                    resolved += 1;
-                    continue;
-                }
-                if to_run.iter().any(|(_, fp, _, _)| *fp == fingerprint) {
-                    self.queue.push_back(id);
+                    *resolved += 1;
                     continue;
                 }
                 let warm = if self.warm_start {
@@ -280,61 +459,62 @@ impl JobEngine {
                 } else {
                     None
                 };
-                self.jobs[id].state = JobState::Running;
-                to_run.push((id, fingerprint, topology, warm));
+                state.jobs[id].state = JobState::Running;
+                to_run.push(Scheduled {
+                    job: id,
+                    fingerprint,
+                    topology,
+                    warm,
+                    spec: state.jobs[id].request.spec.clone(),
+                    deadline: state.jobs[id].request.deadline,
+                    budget: state.jobs[id].request.budget,
+                    token: state.jobs[id].token.clone(),
+                });
             }
-
-            self.run_batch(&mut resolved, to_run);
         }
+
+        self.run_batch(resolved, to_run, followers);
+        self.maybe_autopersist();
+        true
     }
 
-    /// Phases 2 and 3 of one [`JobEngine::run_pending`] round: shard the
-    /// misses across the pool, then fold outcomes into job states and the
-    /// cache.
-    fn run_batch(
-        &mut self,
-        resolved: &mut usize,
-        to_run: Vec<(usize, Fingerprint, Fingerprint, Option<Candidate>)>,
-    ) {
+    /// Phases 2 and 3 of one round: shard the misses across the pool
+    /// (holding no engine lock, so submissions stay admissible), then fold
+    /// outcomes into job states, the cache, and the round's duplicates.
+    fn run_batch(&self, resolved: &mut usize, to_run: Vec<Scheduled>, followers: Vec<(usize, usize)>) {
+        let mut memoized = vec![false; to_run.len()];
         if !to_run.is_empty() {
-            // Phase 2 (sharded): one work item per miss. Jobs carry
-            // heterogeneous circuits, so there is no shareable evaluator
-            // state — each solve builds its own Problem/CostCache internally
-            // and the per-worker state is unit.
-            let work: Vec<_> = to_run
-                .iter()
-                .map(|(id, _, _, warm)| {
-                    (
-                        self.jobs[*id].request.spec.clone(),
-                        self.jobs[*id].request.deadline,
-                        self.jobs[*id].request.budget,
-                        self.jobs[*id].token.clone(),
-                        warm.clone(),
-                    )
-                })
-                .collect();
-            let workers = self.pool.workers().min(work.len()).max(1);
+            // Phase 2 (sharded, lock-free): one work item per miss. Jobs
+            // carry heterogeneous circuits, so there is no shareable
+            // evaluator state — each solve builds its own Problem/CostCache
+            // internally and the per-worker state is unit.
+            let workers = self.pool.workers().min(to_run.len()).max(1);
             let mut states = vec![(); workers];
             let never = CancelToken::new();
             let outcomes = self.pool.map_scoped_cancellable(
-                &work,
+                &to_run,
                 &mut states,
                 &never,
-                |_state, (spec, deadline, budget, token, warm)| {
-                    if token.is_cancelled() {
+                |_state, scheduled| {
+                    if scheduled.token.is_cancelled() {
                         return (ChainOutcome::Skipped, None, false);
                     }
-                    let mut control = RunControl::unbounded().with_cancel_token(token.clone());
-                    if let Some(after) = *deadline {
+                    let mut control =
+                        RunControl::unbounded().with_cancel_token(scheduled.token.clone());
+                    if let Some(after) = scheduled.deadline {
                         control = control.with_deadline(after);
                     }
-                    if let Some(evals) = *budget {
+                    if let Some(evals) = scheduled.budget {
                         control = control.with_budget(evals);
                     }
-                    let warm_started = warm.is_some();
+                    let warm_started = scheduled.warm.is_some();
                     match catch_unwind(AssertUnwindSafe(|| {
-                        spec.solver
-                            .run_controlled_seeded(&spec.circuit, spec.seed, &control, warm.as_ref())
+                        scheduled.spec.solver.run_controlled_seeded(
+                            &scheduled.spec.circuit,
+                            scheduled.spec.seed,
+                            &control,
+                            scheduled.warm.as_ref(),
+                        )
                     })) {
                         Ok((result, best)) => (ChainOutcome::Finished(result), best, warm_started),
                         Err(payload) => (
@@ -347,31 +527,110 @@ impl JobEngine {
             );
 
             // Phase 3 (serial): fold outcomes back into job states and the
-            // cache.
-            for ((id, fingerprint, topology, _), slot) in to_run.into_iter().zip(outcomes) {
-                let state = match slot {
+            // cache. Memoization happens before follower resolution so the
+            // duplicates' counted lookups hit.
+            let mut state = self.lock();
+            for (idx, (scheduled, slot)) in to_run.iter().zip(outcomes).enumerate() {
+                let job_state = match slot {
                     Some((ChainOutcome::Finished(result), best, warm_started)) => {
                         if result.stop == StopReason::Completed {
-                            self.cache
-                                .insert(fingerprint, topology, CachedSolve {
+                            self.cache.insert(
+                                scheduled.fingerprint,
+                                scheduled.topology,
+                                CachedSolve {
                                     result: result.clone(),
                                     best,
-                                });
+                                },
+                            );
+                            memoized[idx] = true;
                         }
                         JobState::Done(JobOutcome {
                             result,
                             cache_hit: false,
                             warm_started,
-                            fingerprint,
+                            fingerprint: scheduled.fingerprint,
                         })
                     }
                     Some((ChainOutcome::Panicked(message), _, _)) => JobState::Failed(message),
                     Some((ChainOutcome::Skipped, _, _)) | None => JobState::Cancelled,
                 };
-                self.jobs[id].state = state;
+                state.jobs[scheduled.job].state = job_state;
                 *resolved += 1;
             }
+
+            // The round's duplicates: a memoized lead answers them as
+            // counted hits right now; an interrupted or failed lead sends
+            // them back to the queue to run for real next round (their one
+            // counted lookup happens then).
+            for (id, lead) in followers {
+                if state.jobs[id].token.is_cancelled() {
+                    state.jobs[id].state = JobState::Cancelled;
+                    *resolved += 1;
+                } else if memoized[lead] {
+                    let fingerprint = to_run[lead].fingerprint;
+                    let cached = self
+                        .cache
+                        .get(fingerprint)
+                        .expect("memoized entry evicted within its own round");
+                    state.jobs[id].state = JobState::Done(JobOutcome {
+                        result: cached.result,
+                        cache_hit: true,
+                        warm_started: false,
+                        fingerprint,
+                    });
+                    *resolved += 1;
+                } else {
+                    state.jobs[id].state = JobState::Queued;
+                    state.queue.push_back(id);
+                }
+            }
         }
+    }
+
+    /// Saves the cache to the configured [`ServeConfig::persist_path`].
+    /// Returns `Ok(false)` when no path is configured.
+    pub fn persist(&self) -> Result<bool, PersistError> {
+        match &self.persist_path {
+            Some(path) => self.cache.persist(path).map(|()| true),
+            None => Ok(false),
+        }
+    }
+
+    /// Restores the cache from the configured path, treating any failure —
+    /// no path, missing file, corruption, version mismatch — as a cold
+    /// start. Returns the number of entries restored.
+    pub fn restore_or_cold(&self) -> usize {
+        match &self.persist_path {
+            Some(path) => self.cache.restore_or_cold(path),
+            None => 0,
+        }
+    }
+
+    /// Autosave trigger: persists when `persist_every_evictions` or more
+    /// evictions happened since the last save. A failed autosave is skipped
+    /// silently (the next threshold retries); persistence is an
+    /// optimization, never worth failing a batch over.
+    fn maybe_autopersist(&self) {
+        if self.persist_path.is_none() || self.persist_every_evictions == 0 {
+            return;
+        }
+        let evictions = self.cache.stats().evictions;
+        let mut state = self.lock();
+        if evictions.saturating_sub(state.evictions_at_last_persist)
+            >= self.persist_every_evictions
+        {
+            // Mark first: a failing disk must not retry on every round.
+            state.evictions_at_last_persist = evictions;
+            drop(state);
+            let _ = self.persist();
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, EngineState> {
+        // Poisoning is recovered: job-table updates are single statements
+        // and solver panics are caught in phase 2 before they can unwind
+        // through an engine lock.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -394,31 +653,64 @@ mod tests {
 
     #[test]
     fn exact_repeat_is_a_bit_identical_cache_hit() {
-        let mut engine = engine(2);
+        let engine = engine(2);
         let cold = engine.submit(JobRequest::new(sa_spec(7)));
         let hot = engine.submit(JobRequest::new(sa_spec(7)));
         engine.run_pending();
 
-        let cold = engine.outcome(cold).expect("cold done").clone();
-        let hot = engine.outcome(hot).expect("hot done").clone();
+        let cold = engine.outcome(cold).expect("cold done");
+        let hot = engine.outcome(hot).expect("hot done");
         assert!(!cold.cache_hit);
         assert!(hot.cache_hit);
         assert_eq!(cold.fingerprint, hot.fingerprint);
         assert_eq!(cold.result.reward.to_bits(), hot.result.reward.to_bits());
         assert_eq!(cold.result.floorplan, hot.result.floorplan);
         assert_eq!(cold.result.evaluations, hot.result.evaluations);
-        assert_eq!(engine.cache_stats().hits, 1);
-        assert_eq!(engine.cache_stats().insertions, 1);
+        // The in-flight duplicate is served from the completing lead, not
+        // deferred into a second counted miss: exactly one solve, one miss,
+        // one hit for two submissions.
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn in_flight_duplicates_of_an_interrupted_lead_rerun_instead_of_hitting() {
+        let engine = engine(2);
+        let spec = JobSpec::new(
+            generators::ota5(),
+            Baseline::Sa(SaConfig {
+                iterations: 2_000_000,
+                ..SaConfig::small()
+            }),
+            1,
+        );
+        let limited = |spec: &JobSpec| JobRequest {
+            spec: spec.clone(),
+            deadline: Some(Duration::from_millis(5)),
+            budget: None,
+        };
+        let lead = engine.submit(limited(&spec));
+        let follower = engine.submit(limited(&spec));
+        engine.run_pending();
+        // The lead was deadline-stopped, so nothing was memoized and the
+        // follower ran for real in a follow-up round.
+        let lead = engine.outcome(lead).expect("lead done");
+        let follower = engine.outcome(follower).expect("follower done");
+        assert_eq!(lead.result.stop, StopReason::Deadline);
+        assert_eq!(follower.result.stop, StopReason::Deadline);
+        assert!(!follower.cache_hit);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (0, 2, 0));
     }
 
     #[test]
     fn cache_hits_survive_across_batches() {
-        let mut engine = engine(1);
+        let engine = engine(1);
         let first = engine.submit(JobRequest::new(sa_spec(3)));
         engine.run_pending();
         let second = engine.submit(JobRequest::new(sa_spec(3)));
         engine.run_pending();
-        let first = engine.outcome(first).unwrap().clone();
+        let first = engine.outcome(first).unwrap();
         let second = engine.outcome(second).unwrap();
         assert!(second.cache_hit);
         assert_eq!(
@@ -429,7 +721,7 @@ mod tests {
 
     #[test]
     fn near_identical_requests_are_warm_started() {
-        let mut engine = engine(1);
+        let engine = engine(1);
         engine.submit(JobRequest::new(sa_spec(3)));
         engine.run_pending();
 
@@ -450,7 +742,7 @@ mod tests {
 
     #[test]
     fn warm_start_can_be_disabled() {
-        let mut engine = JobEngine::new(&ServeConfig {
+        let engine = JobEngine::new(&ServeConfig {
             workers: 1,
             warm_start: false,
             ..ServeConfig::default()
@@ -467,7 +759,7 @@ mod tests {
 
     #[test]
     fn queued_jobs_cancel_before_running() {
-        let mut engine = engine(1);
+        let engine = engine(1);
         let keep = engine.submit(JobRequest::new(sa_spec(1)));
         let drop = engine.submit(JobRequest::new(sa_spec(2)));
         engine.cancel(drop);
@@ -481,7 +773,7 @@ mod tests {
 
     #[test]
     fn deadline_limited_jobs_finish_but_are_not_memoized() {
-        let mut engine = engine(1);
+        let engine = engine(1);
         let spec = JobSpec::new(
             generators::ota5(),
             Baseline::Sa(SaConfig {
@@ -512,7 +804,7 @@ mod tests {
 
     #[test]
     fn budget_limited_jobs_report_budget_stop() {
-        let mut engine = engine(1);
+        let engine = engine(1);
         let id = engine.submit(JobRequest {
             spec: sa_spec(1),
             deadline: None,
@@ -526,7 +818,7 @@ mod tests {
     #[test]
     fn heterogeneous_batch_matches_individual_runs() {
         // Jobs sharded across workers must equal the same solves run alone.
-        let mut engine = engine(4);
+        let engine = engine(4);
         let specs = vec![
             sa_spec(1),
             JobSpec::new(generators::ota3(), Baseline::Sa(SaConfig::small()), 2),
@@ -543,7 +835,7 @@ mod tests {
                 .solver
                 .run_controlled_seeded(&spec.circuit, spec.seed, &RunControl::unbounded(), None)
                 .0;
-            let sharded = &engine.outcome(id).expect("done").result;
+            let sharded = engine.outcome(id).expect("done").result;
             assert_eq!(alone.reward.to_bits(), sharded.reward.to_bits());
             assert_eq!(alone.floorplan, sharded.floorplan);
         }
@@ -553,8 +845,8 @@ mod tests {
     fn engines_share_a_pool_through_the_handle() {
         let pool = PoolHandle::new(2);
         let config = ServeConfig::default();
-        let mut a = JobEngine::with_pool(&config, pool.clone());
-        let mut b = JobEngine::with_pool(&config, pool.clone());
+        let a = JobEngine::with_pool(&config, pool.clone());
+        let b = JobEngine::with_pool(&config, pool.clone());
         a.submit(JobRequest::new(sa_spec(1)));
         b.submit(JobRequest::new(sa_spec(2)));
         a.run_pending();
@@ -563,10 +855,69 @@ mod tests {
     }
 
     #[test]
+    fn engines_share_a_cache_through_the_handle() {
+        // Cross-engine memoization: a solve completed by engine A is a
+        // bit-identical hit for engine B.
+        let pool = PoolHandle::new(2);
+        let cache = CacheHandle::new(16);
+        let config = ServeConfig::default();
+        let a = JobEngine::with_cache(&config, pool.clone(), cache.clone());
+        let b = JobEngine::with_cache(&config, pool, cache.clone());
+        let cold = a.submit(JobRequest::new(sa_spec(9)));
+        a.run_pending();
+        let hot = b.submit(JobRequest::new(sa_spec(9)));
+        b.run_pending();
+        let cold = a.outcome(cold).expect("cold done");
+        let hot = b.outcome(hot).expect("hot done");
+        assert!(!cold.cache_hit);
+        assert!(hot.cache_hit);
+        assert_eq!(cold.result.reward.to_bits(), hot.result.reward.to_bits());
+        assert_eq!(cold.result.floorplan, hot.result.floorplan);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn queue_depth_bound_rejects_with_a_typed_reason() {
+        let engine = JobEngine::new(&ServeConfig {
+            workers: 1,
+            queue_depth: 2,
+            ..ServeConfig::default()
+        });
+        assert!(engine.try_submit(JobRequest::new(sa_spec(1))).is_ok());
+        assert!(engine.try_submit(JobRequest::new(sa_spec(2))).is_ok());
+        let rejected = engine.try_submit(JobRequest::new(sa_spec(3)));
+        assert_eq!(
+            rejected.unwrap_err(),
+            RejectReason::QueueFull {
+                pending: 2,
+                bound: 2
+            }
+        );
+        // Draining frees the queue for new admissions.
+        engine.run_pending();
+        assert!(engine.try_submit(JobRequest::new(sa_spec(3))).is_ok());
+        let message = format!("{}", RejectReason::QueueFull { pending: 2, bound: 2 });
+        assert!(message.contains("queue full"));
+    }
+
+    #[test]
+    fn cancel_queued_flushes_the_backlog_without_touching_running_jobs() {
+        let engine = engine(1);
+        let a = engine.submit(JobRequest::new(sa_spec(1)));
+        let b = engine.submit(JobRequest::new(sa_spec(2)));
+        let flushed = engine.cancel_queued();
+        assert_eq!(flushed, vec![a, b]);
+        assert_eq!(engine.pending(), 0);
+        assert!(matches!(engine.state(a), JobState::Cancelled));
+        assert_eq!(engine.run_pending(), 0);
+    }
+
+    #[test]
     fn a_panicking_job_fails_alone() {
         // `moves_per_temperature: 0` makes SA's cooling schedule divide by
         // zero; the healthy job beside it must still finish and be cached.
-        let mut engine = engine(2);
+        let engine = engine(2);
         let bad = engine.submit(JobRequest::new(JobSpec::new(
             generators::ota3(),
             Baseline::Sa(SaConfig {
@@ -580,5 +931,39 @@ mod tests {
         assert!(matches!(engine.state(bad), JobState::Failed(_)));
         assert!(matches!(engine.state(good), JobState::Done(_)));
         assert_eq!(engine.cache_stats().insertions, 1);
+    }
+
+    #[test]
+    fn persistence_hooks_round_trip_through_the_configured_path() {
+        let dir = std::env::temp_dir().join(format!("afp-engine-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("engine.afpc");
+        let config = ServeConfig {
+            workers: 1,
+            persist_path: Some(path.clone()),
+            ..ServeConfig::default()
+        };
+        let engine = JobEngine::new(&config);
+        let cold = engine.submit(JobRequest::new(sa_spec(11)));
+        engine.run_pending();
+        assert!(engine.persist().expect("persist"));
+
+        let fresh = JobEngine::new(&config);
+        assert_eq!(fresh.restore_or_cold(), 1);
+        let hot = fresh.submit(JobRequest::new(sa_spec(11)));
+        fresh.run_pending();
+        let cold = engine.outcome(cold).expect("cold done");
+        let hot = fresh.outcome(hot).expect("hot done");
+        assert!(hot.cache_hit);
+        assert_eq!(cold.result.reward.to_bits(), hot.result.reward.to_bits());
+        assert_eq!(cold.result.floorplan, hot.result.floorplan);
+
+        // Unconfigured engines report the no-op; damaged files are cold.
+        let unconfigured = JobEngine::new(&ServeConfig::default());
+        assert!(!unconfigured.persist().expect("no-op"));
+        std::fs::write(&path, b"AFPCgarbage").expect("damage");
+        let damaged = JobEngine::new(&config);
+        assert_eq!(damaged.restore_or_cold(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

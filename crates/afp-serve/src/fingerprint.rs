@@ -139,6 +139,14 @@ impl Default for FingerprintHasher {
     }
 }
 
+/// Version of the section-tag layout below. Bump this whenever a tag is
+/// renumbered, removed, or a fingerprinted field changes meaning — anything
+/// that makes old fingerprints incomparable to new ones. Persisted cache
+/// snapshots embed this version in their header ([`crate::persist`]) and a
+/// loader rejects a mismatch as a typed error instead of serving results
+/// keyed by a stale hash function.
+pub const TAG_LAYOUT_VERSION: u32 = 1;
+
 // Section tags. Gaps left between groups so new sections slot in without
 // renumbering (renumbering would silently invalidate persisted caches).
 const TAG_BLOCKS: u8 = 0x01;

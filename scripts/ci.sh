@@ -29,6 +29,9 @@ for diff_test in \
     sa_with_generous_deadline_replays_the_unbounded_run \
     serve_fingerprints_are_injective_and_canonical \
     serve_cache_hit_replays_the_cold_solve_bit_for_bit \
+    serve_persist_round_trip_restores_bit_identical_hits \
+    serve_daemon_admits_while_draining_and_matches_cold_solves \
+    serve_daemon_stress_submitters_race_drain \
     multiword_grid_fits_anchors_and_nearest_fit_match_scalar \
     incremental_realize_matches_full_beyond_64_blocks \
     incremental_metrics_match_full_beyond_64_blocks; do
@@ -47,6 +50,8 @@ for oracle_feature in full-realize full-metrics; do
     for pool_test in eval_pool_matches_serial_cost_cached \
         multistart_sa_matches_serial_replay \
         serve_cache_hit_replays_the_cold_solve_bit_for_bit \
+        serve_persist_round_trip_restores_bit_identical_hits \
+        serve_daemon_admits_while_draining_and_matches_cold_solves \
         multiword_grid_fits_anchors_and_nearest_fit_match_scalar \
         incremental_realize_matches_full_beyond_64_blocks \
         incremental_metrics_match_full_beyond_64_blocks; do
@@ -124,7 +129,7 @@ with open(sys.argv[2]) as f:
     committed = json.load(f)
 for section in ("pack", "snap", "large_n", "masks", "incremental_realize",
                 "eval_pool", "pool_overhead", "multistart", "serve",
-                "sa_locality", "sa"):
+                "serve_daemon", "sa_locality", "sa"):
     assert section in snap, f"missing snapshot section: {section}"
 # The large-n tier: one row per block count past the old 64-element ceilings,
 # each run end to end through the incremental cost pipeline on a multi-word
@@ -200,6 +205,27 @@ assert serve["cache_hit_ns"] * 10.0 < serve["cold_solve_ns"], \
 for key in ("jobs_per_sec_workers1", "jobs_per_sec_workers2",
             "jobs_per_sec_workers4"):
     assert serve[key] > 0.0, f"nonsensical serve throughput: {key}"
+daemon = snap["serve_daemon"]
+for key in ("batch_jobs", "drain_jobs_per_sec_workers1",
+            "drain_jobs_per_sec_workers2", "drain_jobs_per_sec_workers4",
+            "cold_solve_ns", "restored_hit_ns", "restore_speedup",
+            "snapshot_bytes", "bit_identical"):
+    assert key in daemon, f"missing serve_daemon key: {key}"
+# bench_snapshot restores the persisted cache into a fresh engine and asserts
+# the repeat job is a bit-identical hit before timing anything — a written
+# section with a true verdict proves restore preserved the memoized result
+# exactly. The restored hit carries an amortized share of the snapshot decode,
+# so the bar sits at 10x under the cold solve (observed far higher) rather
+# than matching the in-memory hit's ~200x.
+assert daemon["bit_identical"] is True, \
+    "serve_daemon restore bit-identity check not recorded"
+assert daemon["snapshot_bytes"] > 0, "empty cache snapshot"
+assert daemon["restored_hit_ns"] > 0.0, "nonsensical restored-hit latency"
+assert daemon["restored_hit_ns"] * 10.0 < daemon["cold_solve_ns"], \
+    "restored cache hit is not meaningfully cheaper than a cold solve"
+for key in ("drain_jobs_per_sec_workers1", "drain_jobs_per_sec_workers2",
+            "drain_jobs_per_sec_workers4"):
+    assert daemon[key] > 0.0, f"nonsensical drain-loop throughput: {key}"
 loc = snap["sa_locality"]
 for key in ("locality_bias", "uniform_move_ns", "local_move_ns",
             "uniform_pack_replay_rate", "local_pack_replay_rate",

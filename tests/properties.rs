@@ -1330,7 +1330,7 @@ proptest! {
         prop_assert_eq!(reference.stop, StopReason::Completed);
 
         for workers in [1usize, 2, 4] {
-            let mut engine = JobEngine::new(&ServeConfig {
+            let engine = JobEngine::new(&ServeConfig {
                 workers,
                 ..ServeConfig::default()
             });
@@ -1338,8 +1338,8 @@ proptest! {
             let hot = engine.submit(JobRequest::new(spec.clone()));
             engine.run_pending();
 
-            let cold = engine.outcome(cold).unwrap().clone();
-            let hot = engine.outcome(hot).unwrap().clone();
+            let cold = engine.outcome(cold).unwrap();
+            let hot = engine.outcome(hot).unwrap();
             prop_assert!(!cold.cache_hit, "{} workers: first solve hit the cache", workers);
             prop_assert!(hot.cache_hit, "{} workers: repeat missed the cache", workers);
             for (label, r) in [("cold", &cold.result), ("hit", &hot.result)] {
@@ -1356,5 +1356,319 @@ proptest! {
             prop_assert_eq!(stats.hits, 1, "{} workers", workers);
             prop_assert_eq!(stats.insertions, 1, "{} workers", workers);
         }
+    }
+}
+
+proptest! {
+    // Persistence round-trip contract: run by name in scripts/ci.sh under
+    // the default and both feature-gated oracle configurations, because a
+    // restored cache is only safe if the hits it serves are bit-identical
+    // to what the *current* solver stack would produce. Many cases, tiny
+    // solves: the surface under test is the snapshot codec, not the solver.
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Random job mixes → `persist()` → fresh-engine `restore()` → repeats
+    /// are cache hits bit-identical to the pre-restart outcomes, at a
+    /// per-case worker count drawn from {1, 2, 4}; corrupted, truncated and
+    /// version-bumped snapshot bytes load as typed errors and fall back to
+    /// cold — never a panic, and never partially restored state.
+    #[test]
+    fn serve_persist_round_trip_restores_bit_identical_hits(
+        seed in 0u64..1_000_000,
+    ) {
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::metaheuristics::{Baseline, SaConfig, StopReason};
+        use analog_floorplan::serve::{
+            CacheHandle, JobEngine, JobRequest, JobSpec, PersistError, ServeConfig,
+        };
+        use analog_floorplan::par::PoolHandle;
+
+        let workers = [1usize, 2, 4][(seed % 3) as usize];
+        let solver = Baseline::Sa(SaConfig { iterations: 30, ..SaConfig::small() });
+        let specs: Vec<JobSpec> = (0..2 + (seed % 2))
+            .map(|i| {
+                let circuit = if (seed + i) % 2 == 0 {
+                    generators::ota3()
+                } else {
+                    generators::ota5()
+                };
+                JobSpec::new(circuit, solver.clone(), seed ^ (i << 8))
+            })
+            .collect();
+
+        // Solve the mix cold, then snapshot the populated cache.
+        let config = ServeConfig { workers, ..ServeConfig::default() };
+        let engine = JobEngine::new(&config);
+        let ids: Vec<_> = specs
+            .iter()
+            .map(|s| engine.submit(JobRequest::new(s.clone())))
+            .collect();
+        engine.run_pending();
+        let originals: Vec<_> = ids
+            .iter()
+            .map(|id| engine.outcome(*id).expect("cold job done"))
+            .collect();
+        for outcome in &originals {
+            prop_assert_eq!(outcome.result.stop, StopReason::Completed);
+        }
+        let bytes = engine.cache().snapshot_bytes();
+
+        // Restore into a fresh engine: every repeat is a hit, bit-identical
+        // to its pre-restart outcome.
+        let restored_cache = CacheHandle::new(64);
+        prop_assert_eq!(
+            restored_cache.restore_bytes(&bytes).expect("restore"),
+            specs.len()
+        );
+        let fresh = JobEngine::with_cache(&config, PoolHandle::new(workers), restored_cache);
+        let repeat_ids: Vec<_> = specs
+            .iter()
+            .map(|s| fresh.submit(JobRequest::new(s.clone())))
+            .collect();
+        fresh.run_pending();
+        for (original, id) in originals.iter().zip(repeat_ids) {
+            let repeat = fresh.outcome(id).expect("repeat done");
+            prop_assert!(repeat.cache_hit, "restored repeat missed the cache");
+            prop_assert_eq!(
+                repeat.result.reward.to_bits(),
+                original.result.reward.to_bits()
+            );
+            prop_assert_eq!(&repeat.result.floorplan, &original.result.floorplan);
+            prop_assert_eq!(repeat.result.evaluations, original.result.evaluations);
+        }
+        let stats = fresh.cache_stats();
+        prop_assert_eq!(stats.hits, specs.len() as u64);
+        prop_assert_eq!(stats.misses, 0);
+
+        // Damaged bytes: typed rejection, cold fallback, never a panic —
+        // and the cold engine still solves the job for real.
+        let damaged = match seed % 4 {
+            0 => {
+                let mut b = bytes.clone();
+                b.truncate((seed as usize) % bytes.len());
+                b
+            }
+            1 => {
+                let mut b = bytes.clone();
+                let mid = 12 + (seed as usize) % (bytes.len() - 12);
+                b[mid] ^= 0x40;
+                b
+            }
+            2 => {
+                let mut b = bytes.clone();
+                let bumped = analog_floorplan::serve::persist::FORMAT_VERSION + 1;
+                b[4..8].copy_from_slice(&bumped.to_le_bytes());
+                b
+            }
+            _ => {
+                let mut b = bytes.clone();
+                let bumped = analog_floorplan::serve::fingerprint::TAG_LAYOUT_VERSION + 1;
+                b[8..12].copy_from_slice(&bumped.to_le_bytes());
+                b
+            }
+        };
+        let cold_cache = CacheHandle::new(64);
+        let error = cold_cache.restore_bytes(&damaged);
+        match seed % 4 {
+            2 => prop_assert!(matches!(
+                error,
+                Err(PersistError::UnsupportedFormatVersion { .. })
+            )),
+            3 => prop_assert!(matches!(error, Err(PersistError::TagLayoutMismatch { .. }))),
+            _ => prop_assert!(error.is_err(), "damaged bytes restored cleanly"),
+        }
+        prop_assert!(cold_cache.is_empty(), "partial state escaped a failed restore");
+        let cold = JobEngine::with_cache(&config, PoolHandle::new(workers), cold_cache);
+        let id = cold.submit(JobRequest::new(specs[0].clone()));
+        cold.run_pending();
+        let outcome = cold.outcome(id).expect("cold fallback still solves");
+        prop_assert!(!outcome.cache_hit);
+        prop_assert_eq!(
+            outcome.result.reward.to_bits(),
+            originals[0].result.reward.to_bits()
+        );
+    }
+}
+
+proptest! {
+    // Daemon contract: live admission against a running drain loop, with
+    // outcomes bit-identical to direct cold solves and fully reconciled
+    // counters. Few cases — each spins up a daemon and real threads.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Jobs streamed into a live daemon (including an in-flight duplicate)
+    /// all resolve, match their direct cold solves bit for bit, and the
+    /// shared-cache counters reconcile: one counted lookup per submission.
+    #[test]
+    fn serve_daemon_admits_while_draining_and_matches_cold_solves(
+        seed in 0u64..1_000_000,
+    ) {
+        use analog_floorplan::metaheuristics::{Baseline, RunControl, SaConfig, StopReason};
+        use analog_floorplan::circuit::generators;
+        use analog_floorplan::serve::{JobRequest, JobSpec, ServeConfig, ServeDaemon};
+
+        let workers = [1usize, 2, 4][(seed % 3) as usize];
+        let solver = Baseline::Sa(SaConfig { iterations: 60, ..SaConfig::small() });
+        let specs = [
+            JobSpec::new(generators::ota3(), solver.clone(), seed),
+            JobSpec::new(generators::ota5(), solver.clone(), seed ^ 7),
+            JobSpec::new(generators::ota3(), solver.clone(), seed ^ 13),
+        ];
+
+        // Warm starts off: they seed a solve from whatever same-topology
+        // entry happens to be cached when the drain thread picks the job up,
+        // which is exactly the history-dependence this bit-identity check
+        // must not race against.
+        let daemon = ServeDaemon::spawn(&ServeConfig {
+            workers,
+            warm_start: false,
+            ..ServeConfig::default()
+        });
+        // Stream the jobs in one at a time so later admissions land while
+        // earlier batches drain, plus a duplicate of the first spec.
+        let mut ids = Vec::new();
+        for spec in &specs {
+            ids.push(daemon.submit(JobRequest::new(spec.clone())).expect("admit"));
+        }
+        ids.push(daemon.submit(JobRequest::new(specs[0].clone())).expect("admit dup"));
+        daemon.wait_idle();
+
+        for (i, id) in ids.iter().enumerate() {
+            let spec = if i < specs.len() { &specs[i] } else { &specs[0] };
+            let outcome = daemon.outcome(*id).expect("job resolved");
+            let direct = spec
+                .solver
+                .run_controlled_seeded(&spec.circuit, spec.seed, &RunControl::unbounded(), None)
+                .0;
+            prop_assert_eq!(outcome.result.stop, StopReason::Completed);
+            prop_assert_eq!(
+                outcome.result.reward.to_bits(),
+                direct.reward.to_bits(),
+                "{} workers: daemon solve diverged from direct run",
+                workers
+            );
+            prop_assert_eq!(&outcome.result.floorplan, &direct.floorplan);
+        }
+        // The duplicate is a hit, not a second solve.
+        let dup = daemon.outcome(*ids.last().unwrap()).expect("dup resolved");
+        prop_assert!(dup.cache_hit);
+
+        let stats = daemon.engine().cache_stats();
+        prop_assert_eq!(stats.hits + stats.misses, ids.len() as u64);
+        prop_assert_eq!(stats.insertions, specs.len() as u64);
+
+        let report = daemon.shutdown();
+        prop_assert_eq!(report.resolved, ids.len());
+        prop_assert_eq!(report.completed, ids.len());
+        prop_assert_eq!(report.cancelled, 0);
+        prop_assert_eq!(report.failed, 0);
+    }
+}
+
+/// Concurrency stress: N submitter threads race a live drain loop at every
+/// worker count. No job may be lost or double-run, every result must be
+/// bit-identical to its cold solve, and the shared-cache counters must
+/// reconcile exactly — `hits + misses == submissions`, one insertion per
+/// distinct fingerprint.
+#[test]
+fn serve_daemon_stress_submitters_race_drain() {
+    use analog_floorplan::circuit::generators;
+    use analog_floorplan::metaheuristics::{Baseline, RunControl, SaConfig, StopReason};
+    use analog_floorplan::serve::{JobId, JobRequest, JobSpec, ServeConfig, ServeDaemon};
+
+    const SUBMITTERS: usize = 4;
+    const PER_THREAD: usize = 8;
+    let solver = Baseline::Sa(SaConfig {
+        iterations: 60,
+        ..SaConfig::small()
+    });
+    let specs: Vec<JobSpec> = (0..6u64)
+        .map(|i| {
+            let circuit = if i % 2 == 0 {
+                generators::ota3()
+            } else {
+                generators::ota5()
+            };
+            JobSpec::new(circuit, solver.clone(), 100 + i)
+        })
+        .collect();
+    let direct: Vec<_> = specs
+        .iter()
+        .map(|spec| {
+            spec.solver
+                .run_controlled_seeded(&spec.circuit, spec.seed, &RunControl::unbounded(), None)
+                .0
+        })
+        .collect();
+
+    for workers in [1usize, 2, 4] {
+        // Warm starts off for the same reason as the daemon proptest above:
+        // bit-identity to a fixed cold solve requires solves that do not
+        // depend on which same-topology entries were cached first.
+        let daemon = ServeDaemon::spawn(&ServeConfig {
+            workers,
+            warm_start: false,
+            ..ServeConfig::default()
+        });
+        // (spec index, job id) pairs from every submitter thread.
+        let submitted: Vec<(usize, JobId)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SUBMITTERS)
+                .map(|thread| {
+                    let daemon = &daemon;
+                    let specs = &specs;
+                    scope.spawn(move || {
+                        (0..PER_THREAD)
+                            .map(|i| {
+                                let which = (thread + i * SUBMITTERS) % specs.len();
+                                let id = daemon
+                                    .submit(JobRequest::new(specs[which].clone()))
+                                    .expect("unbounded admission");
+                                (which, id)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("submitter thread"))
+                .collect()
+        });
+        assert_eq!(submitted.len(), SUBMITTERS * PER_THREAD);
+        daemon.wait_idle();
+
+        // No job lost: every submission resolved, bit-identical to its
+        // spec's cold solve.
+        for (which, id) in &submitted {
+            let outcome = daemon
+                .outcome(*id)
+                .unwrap_or_else(|| panic!("job {id:?} lost at {workers} workers"));
+            assert_eq!(outcome.result.stop, StopReason::Completed);
+            assert_eq!(
+                outcome.result.reward.to_bits(),
+                direct[*which].reward.to_bits(),
+                "{workers} workers: spec {which} diverged"
+            );
+            assert_eq!(outcome.result.floorplan, direct[*which].floorplan);
+            assert_eq!(outcome.result.evaluations, direct[*which].evaluations);
+        }
+
+        // No job double-run, counters reconcile: each distinct fingerprint
+        // was solved and inserted exactly once, every other submission was
+        // a counted hit, and every submission got exactly one counted
+        // lookup.
+        let stats = daemon.engine().cache_stats();
+        assert_eq!(stats.insertions, specs.len() as u64, "{workers} workers");
+        assert_eq!(stats.misses, specs.len() as u64, "{workers} workers");
+        assert_eq!(
+            stats.hits,
+            (submitted.len() - specs.len()) as u64,
+            "{workers} workers"
+        );
+        assert_eq!(stats.hits + stats.misses, submitted.len() as u64);
+
+        let report = daemon.shutdown();
+        assert_eq!(report.resolved, submitted.len());
+        assert_eq!(report.completed, submitted.len());
     }
 }
