@@ -207,6 +207,20 @@ impl ResultCache {
         self.stats.insertions += 1;
     }
 
+    /// Counts a hit that was served from outside the store: an in-round
+    /// duplicate answered directly from its lead's completed result. The
+    /// lead's entry may already have been LRU-evicted by later inserts in
+    /// the same round, so this never requires residency; when the entry is
+    /// still resident its recency is refreshed, exactly as a
+    /// [`ResultCache::get`] hit would.
+    pub(crate) fn count_follower_hit(&mut self, fingerprint: Fingerprint) {
+        self.tick += 1;
+        if let Some(entry) = self.entries.get_mut(&fingerprint) {
+            entry.last_used = self.tick;
+        }
+        self.stats.hits += 1;
+    }
+
     /// Entries in ascending recency order (least recently used first, ties
     /// broken by fingerprint). Re-inserting them in this order into a fresh
     /// cache reproduces the LRU eviction order and rebuilds a warm-start
@@ -337,6 +351,11 @@ impl CacheHandle {
         self.lock().insert(fingerprint, topology, solve);
     }
 
+    /// Counts an externally served hit ([`ResultCache::count_follower_hit`]).
+    pub(crate) fn count_follower_hit(&self, fingerprint: Fingerprint) {
+        self.lock().count_follower_hit(fingerprint);
+    }
+
     /// Serializes the shared cache into the versioned binary snapshot format
     /// (see [`crate::persist`]).
     pub fn snapshot_bytes(&self) -> Vec<u8> {
@@ -345,17 +364,22 @@ impl CacheHandle {
 
     /// Decodes a snapshot and inserts its entries (oldest first, so recency
     /// and the warm-start index rebuild in snapshot order) into the shared
-    /// cache. Returns the number of entries restored. Decoding is atomic:
-    /// on any [`PersistError`] the cache is left untouched — the caller
-    /// falls back to cold.
+    /// cache. Returns the number of snapshot entries actually resident
+    /// afterwards — restoring into a cache with a smaller capacity than the
+    /// snapshot evicts the oldest entries during the insert loop, and those
+    /// are not counted. Decoding is atomic: on any [`PersistError`] the
+    /// cache is left untouched — the caller falls back to cold.
     pub fn restore_bytes(&self, bytes: &[u8]) -> Result<usize, PersistError> {
         let snapshot = persist::decode_snapshot(bytes)?;
         let mut cache = self.lock();
-        let restored = snapshot.entries.len();
+        let keys: Vec<Fingerprint> = snapshot.entries.iter().map(|(fp, _, _)| *fp).collect();
         for (fingerprint, topology, solve) in snapshot.entries {
             cache.insert(fingerprint, topology, solve);
         }
-        Ok(restored)
+        Ok(keys
+            .iter()
+            .filter(|fp| cache.peek(**fp).is_some())
+            .count())
     }
 
     /// Writes the snapshot to `path` (via a sibling temp file + rename, so a
@@ -563,6 +587,43 @@ mod tests {
 
     fn fp_raw(i: u64) -> Fingerprint {
         Fingerprint([i, i])
+    }
+
+    #[test]
+    fn follower_hits_count_and_refresh_recency_without_requiring_residency() {
+        let mut cache = ResultCache::new(2);
+        // An already-evicted lead is still a counted hit for its follower.
+        cache.count_follower_hit(fp([9, 9]));
+        assert_eq!(cache.stats().hits, 1);
+        let s = solve();
+        cache.insert(fp([1, 1]), fp([10, 10]), s.clone());
+        cache.insert(fp([2, 2]), fp([20, 20]), s.clone());
+        // A resident lead is refreshed exactly like a `get` hit, so entry 2
+        // becomes the LRU victim.
+        cache.count_follower_hit(fp([1, 1]));
+        cache.insert(fp([3, 3]), fp([30, 30]), s);
+        assert!(cache.peek(fp([1, 1])).is_some());
+        assert!(cache.peek(fp([2, 2])).is_none());
+        assert_eq!((cache.stats().hits, cache.stats().misses), (2, 0));
+    }
+
+    #[test]
+    fn restore_reports_resident_entries_when_capacity_shrinks() {
+        let donor = CacheHandle::new(4);
+        let s = solve();
+        donor.insert(fp([1, 1]), fp([10, 10]), s.clone());
+        donor.insert(fp([2, 2]), fp([20, 20]), s.clone());
+        donor.insert(fp([3, 3]), fp([30, 30]), s);
+        let bytes = donor.snapshot_bytes();
+
+        // Restoring three entries into a capacity-1 cache evicts the two
+        // oldest during the insert loop; the reported count is what is
+        // actually resident, not the snapshot's length.
+        let small = CacheHandle::new(1);
+        assert_eq!(small.restore_bytes(&bytes).expect("restore"), 1);
+        assert_eq!(small.len(), 1);
+        // Snapshot order is oldest-first, so the most recent entry survives.
+        assert!(small.peek(fp([3, 3])).is_some());
     }
 
     #[test]

@@ -482,7 +482,11 @@ impl JobEngine {
     /// (holding no engine lock, so submissions stay admissible), then fold
     /// outcomes into job states, the cache, and the round's duplicates.
     fn run_batch(&self, resolved: &mut usize, to_run: Vec<Scheduled>, followers: Vec<(usize, usize)>) {
-        let mut memoized = vec![false; to_run.len()];
+        // Each lead's memoized solve is also held here for the round's
+        // followers: the cache copy can be LRU-evicted by later inserts in
+        // the same round (a round can complete more distinct fingerprints
+        // than the cache holds), so followers must never depend on it.
+        let mut memoized: Vec<Option<CachedSolve>> = vec![None; to_run.len()];
         if !to_run.is_empty() {
             // Phase 2 (sharded, lock-free): one work item per miss. Jobs
             // carry heterogeneous circuits, so there is no shareable
@@ -528,21 +532,19 @@ impl JobEngine {
 
             // Phase 3 (serial): fold outcomes back into job states and the
             // cache. Memoization happens before follower resolution so the
-            // duplicates' counted lookups hit.
+            // duplicates count as hits against a completed solve.
             let mut state = self.lock();
             for (idx, (scheduled, slot)) in to_run.iter().zip(outcomes).enumerate() {
                 let job_state = match slot {
                     Some((ChainOutcome::Finished(result), best, warm_started)) => {
                         if result.stop == StopReason::Completed {
-                            self.cache.insert(
-                                scheduled.fingerprint,
-                                scheduled.topology,
-                                CachedSolve {
-                                    result: result.clone(),
-                                    best,
-                                },
-                            );
-                            memoized[idx] = true;
+                            let solve = CachedSolve {
+                                result: result.clone(),
+                                best,
+                            };
+                            self.cache
+                                .insert(scheduled.fingerprint, scheduled.topology, solve.clone());
+                            memoized[idx] = Some(solve);
                         }
                         JobState::Done(JobOutcome {
                             result,
@@ -566,14 +568,15 @@ impl JobEngine {
                 if state.jobs[id].token.is_cancelled() {
                     state.jobs[id].state = JobState::Cancelled;
                     *resolved += 1;
-                } else if memoized[lead] {
+                } else if let Some(solve) = &memoized[lead] {
                     let fingerprint = to_run[lead].fingerprint;
-                    let cached = self
-                        .cache
-                        .get(fingerprint)
-                        .expect("memoized entry evicted within its own round");
+                    // Served from the held clone, not a cache re-fetch: the
+                    // entry may already be evicted. The counted hit (and
+                    // recency refresh, when resident) still happens so
+                    // hits + misses == submissions reconciles exactly.
+                    self.cache.count_follower_hit(fingerprint);
                     state.jobs[id].state = JobState::Done(JobOutcome {
-                        result: cached.result,
+                        result: solve.result.clone(),
                         cache_hit: true,
                         warm_started: false,
                         fingerprint,
@@ -598,12 +601,19 @@ impl JobEngine {
 
     /// Restores the cache from the configured path, treating any failure —
     /// no path, missing file, corruption, version mismatch — as a cold
-    /// start. Returns the number of entries restored.
+    /// start. Returns the number of entries restored (resident after the
+    /// restore — squeezing a snapshot into a smaller cache drops the
+    /// oldest entries).
     pub fn restore_or_cold(&self) -> usize {
-        match &self.persist_path {
+        let restored = match &self.persist_path {
             Some(path) => self.cache.restore_or_cold(path),
-            None => 0,
-        }
+            None => return 0,
+        };
+        // Evictions incurred while squeezing the snapshot into a smaller
+        // cache are not serving-time churn; rebaseline so they don't trip
+        // the eviction-threshold autosave right after startup.
+        self.lock().evictions_at_last_persist = self.cache.stats().evictions;
+        restored
     }
 
     /// Autosave trigger: persists when `persist_every_evictions` or more
@@ -671,6 +681,44 @@ mod tests {
         // one hit for two submissions.
         let stats = engine.cache_stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn duplicates_survive_lead_eviction_within_their_own_round() {
+        // Regression: a round that completes more distinct fingerprints than
+        // the cache holds LRU-evicts an early lead's entry before its
+        // duplicates resolve. The duplicate must be served from the lead's
+        // held result — a cache re-fetch of the evicted entry used to panic
+        // and kill the daemon's drain thread.
+        let engine = JobEngine::new(&ServeConfig {
+            workers: 2,
+            cache_capacity: 1,
+            ..ServeConfig::default()
+        });
+        let lead = engine.submit(JobRequest::new(sa_spec(1)));
+        let evictor = engine.submit(JobRequest::new(sa_spec(2)));
+        let follower = engine.submit(JobRequest::new(sa_spec(1)));
+        engine.run_pending();
+
+        let lead = engine.outcome(lead).expect("lead done");
+        let evictor = engine.outcome(evictor).expect("evictor done");
+        let follower = engine.outcome(follower).expect("follower done");
+        assert!(!lead.cache_hit);
+        assert!(!evictor.cache_hit);
+        assert!(follower.cache_hit);
+        assert_eq!(
+            lead.result.reward.to_bits(),
+            follower.result.reward.to_bits()
+        );
+        assert_eq!(lead.result.floorplan, follower.result.floorplan);
+        // The lead's entry is gone, yet the counts still reconcile:
+        // three submissions, two misses, one hit.
+        let stats = engine.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.insertions, stats.evictions),
+            (1, 2, 2, 1)
+        );
+        assert_eq!(engine.cache().len(), 1);
     }
 
     #[test]
@@ -964,6 +1012,47 @@ mod tests {
         std::fs::write(&path, b"AFPCgarbage").expect("damage");
         let damaged = JobEngine::new(&config);
         assert_eq!(damaged.restore_or_cold(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_evictions_do_not_trip_the_autosave_threshold() {
+        let dir = std::env::temp_dir().join(format!("afp-engine-restore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("engine.afpc");
+        let big = JobEngine::new(&ServeConfig {
+            workers: 1,
+            persist_path: Some(path.clone()),
+            ..ServeConfig::default()
+        });
+        for seed in 1..=3 {
+            big.submit(JobRequest::new(sa_spec(seed)));
+        }
+        big.run_pending();
+        assert!(big.persist().expect("persist"));
+
+        // Squeezing the three-entry snapshot into a capacity-1 cache evicts
+        // twice during restore; those evictions are not serving-time churn
+        // and must not count toward persist_every_evictions.
+        let small = JobEngine::new(&ServeConfig {
+            workers: 1,
+            cache_capacity: 1,
+            persist_path: Some(path.clone()),
+            persist_every_evictions: 1,
+            ..ServeConfig::default()
+        });
+        assert_eq!(small.restore_or_cold(), 1, "only the most recent entry fits");
+        assert_eq!(small.cache_stats().evictions, 2);
+
+        // A batch with no new evictions must not autosave.
+        std::fs::remove_file(&path).expect("rm snapshot");
+        let hot = small.submit(JobRequest::new(sa_spec(3)));
+        small.run_pending();
+        assert!(small.outcome(hot).expect("done").cache_hit);
+        assert!(
+            !path.exists(),
+            "restore-time evictions tripped the autosave threshold"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

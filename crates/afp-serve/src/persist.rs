@@ -486,10 +486,17 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, PersistError> {
 
 /// Writes snapshot bytes to `path` atomically: a sibling temp file is
 /// written and fsynced, then renamed over the target, so a crash mid-write
-/// leaves either the old snapshot or none — never a truncated one.
+/// leaves either the old snapshot or none — never a truncated one. The temp
+/// name is unique per write (pid + process-wide counter): concurrent
+/// persists — an autosave racing an explicit `persist()`, or two engine
+/// clones autosaving from concurrent `run_pending` calls — must not share a
+/// temp inode, or interleaved writes could publish a corrupt snapshot.
 pub(crate) fn write_snapshot_file(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = WRITE_SEQ.fetch_add(1, Ordering::Relaxed);
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".{}.{}.tmp", std::process::id(), seq));
     let tmp = std::path::PathBuf::from(tmp);
     let write = || -> std::io::Result<()> {
         use std::io::Write as _;
@@ -638,6 +645,34 @@ mod tests {
             cold.restore(&dir.join("nope.afpc")),
             Err(PersistError::Io(_))
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_writes_publish_one_complete_snapshot() {
+        // Two engine clones autosaving, or an autosave racing an explicit
+        // persist(), write the same target concurrently. Unique temp names
+        // keep each write's bytes intact: the published file is always one
+        // writer's complete payload, never an interleaving.
+        let dir = std::env::temp_dir().join(format!("afp-persist-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("race.afpc");
+        let payloads: Vec<Vec<u8>> = (0u8..8).map(|i| vec![i; 4096]).collect();
+        std::thread::scope(|scope| {
+            for payload in &payloads {
+                scope.spawn(|| write_snapshot_file(&path, payload).expect("write"));
+            }
+        });
+        let published = std::fs::read(&path).expect("read");
+        assert!(
+            payloads.contains(&published),
+            "published snapshot must be one writer's bytes"
+        );
+        let leftover_tmp = std::fs::read_dir(&dir)
+            .expect("readdir")
+            .filter_map(|e| e.ok())
+            .any(|e| e.file_name().to_string_lossy().ends_with(".tmp"));
+        assert!(!leftover_tmp, "temp files must not outlive their write");
         std::fs::remove_dir_all(&dir).ok();
     }
 }
